@@ -1,0 +1,117 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* chunked-strategy sweep (time/space trade-off realised in a live cache);
+* mask scan-order policy (insertion vs hit-sorted);
+* microflow cache size under noisy attack traffic;
+* the mask-memo quirk (OpenStack) on vs off.
+"""
+
+import pytest
+
+from repro.classifier.slowpath import MegaflowGenerator, StrategyConfig
+from repro.classifier.tss import TupleSpaceSearch
+from repro.core.tracegen import ColocatedTraceGenerator
+from repro.core.usecases import DP, SIPDP
+from repro.packet.builder import NoiseConfig, PacketBuilder
+from repro.packet.fields import FlowKey
+from repro.packet.headers import PROTO_TCP
+from repro.switch.datapath import Datapath, DatapathConfig
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 8, 16], ids=lambda k: f"k={k}")
+def test_strategy_tradeoff_ablation(benchmark, k):
+    """Theorem 4.1 live: lookup work vs entry count as k varies."""
+    table = DP.build_table()
+    strategy = StrategyConfig(field_chunks={"tp_dst": k})
+    generator = MegaflowGenerator(table, strategy)
+    cache = TupleSpaceSearch()
+    trace = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate()
+    for key in trace.keys:
+        cache.insert(generator.generate(key).entry)
+    assert cache.n_masks <= k + 1
+    miss = FlowKey(ip_proto=PROTO_TCP, ip_src=0xDEAD, tp_src=1, tp_dst=60000)
+
+    def scan():
+        cache._memo.clear()
+        return cache.lookup(miss)
+
+    benchmark(scan)
+
+
+@pytest.mark.parametrize("policy", ["insertion", "hit_sorted"])
+def test_scan_order_ablation(benchmark, policy):
+    """hit_sorted promotes the victim's hot mask toward the scan front."""
+    table = SIPDP.build_table()
+    generator = MegaflowGenerator(table)
+    cache = TupleSpaceSearch(scan_policy=policy)
+    cache.RESORT_INTERVAL = 64
+    trace = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate()
+    for key in trace.keys:
+        cache.insert(generator.generate(key).entry)
+    victim = FlowKey(ip_proto=PROTO_TCP, ip_src=0x0A000001, tp_src=52000, tp_dst=443)
+    cache.insert(generator.generate(victim).entry)
+    cache.shuffle_masks(seed=2)
+
+    def victim_lookup():
+        cache._memo.clear()
+        return cache.lookup(victim)
+
+    result = benchmark(victim_lookup)
+    assert result.hit
+    if policy == "hit_sorted":
+        # After thousands of timed lookups the hot mask has been promoted.
+        assert cache.lookup(victim).masks_inspected < 50
+
+
+@pytest.mark.parametrize("capacity", [16, 256, 4096], ids=lambda c: f"emc={c}")
+def test_microflow_size_ablation(benchmark, capacity):
+    """Noise traffic thrashes small microflow caches (the §5.2 trick)."""
+    table = DP.build_table()
+    datapath = Datapath(table, DatapathConfig(microflow_capacity=capacity))
+    builder = PacketBuilder(seed=1)
+    victim_key = FlowKey(ip_proto=PROTO_TCP, ip_src=3, tp_src=52000, tp_dst=80)
+    noise_keys = [
+        builder.from_flow_key(
+            FlowKey(ip_proto=PROTO_TCP, ip_src=i, tp_src=i, tp_dst=80),
+            noise=NoiseConfig(),
+        ).flow_key()
+        for i in range(512)
+    ]
+    state = {"i": 0}
+
+    def interleaved():
+        datapath.process(noise_keys[state["i"] % len(noise_keys)])
+        state["i"] += 1
+        return datapath.process(victim_key)
+
+    benchmark(interleaved)
+    hit_rate = datapath.microflows.hit_rate
+    if capacity >= 4096:
+        assert hit_rate > 0.4
+    if capacity <= 16:
+        assert hit_rate < 0.6
+
+
+@pytest.mark.parametrize("mask_cache", [False, True], ids=["memo-off", "memo-on"])
+def test_mask_memo_ablation(benchmark, mask_cache):
+    """The kernel mask memo shields established flows (Fig. 8b model)."""
+    table = SIPDP.build_table()
+    datapath = Datapath(
+        table,
+        DatapathConfig(microflow_capacity=0, enable_mask_cache=mask_cache),
+    )
+    trace = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate()
+    for key in trace.keys:
+        datapath.process(key)
+    victim = FlowKey(ip_proto=PROTO_TCP, ip_src=0x0A000001, tp_src=52000, tp_dst=443)
+    datapath.process(victim)
+
+    def established_lookup():
+        datapath.megaflows._memo.clear()
+        return datapath.process(victim)
+
+    verdict = benchmark(established_lookup)
+    if mask_cache:
+        assert verdict.masks_inspected <= 1
+    else:
+        assert verdict.masks_inspected >= 1

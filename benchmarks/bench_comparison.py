@@ -1,0 +1,13 @@
+"""Benchmark: §7 classifier robustness under TSE traffic."""
+
+from repro.experiments import comparison
+
+
+def test_classifier_robustness(benchmark, publish):
+    result = benchmark.pedantic(comparison.run, rounds=1, iterations=1)
+    publish(result)
+    by_name = {row[0]: row for row in result.rows}
+    degradation = result.columns.index("degradation_x")
+    assert by_name["tss-cache"][degradation] > 100
+    for name in ("hierarchical-tries", "hypercuts", "harp"):
+        assert by_name[name][degradation] < 1.2

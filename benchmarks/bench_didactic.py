@@ -1,0 +1,11 @@
+"""Benchmark: the Figs. 1-5 worked examples (cache construction)."""
+
+from repro.experiments import didactic
+
+
+def test_didactic_examples(benchmark, publish):
+    result = benchmark(didactic.run)
+    publish(result)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["Fig. 3 (wildcarding)"][2:4] == (3, 4)
+    assert rows["Fig. 5 (two fields)"][2:4] == (13, 16)

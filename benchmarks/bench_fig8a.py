@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 8a — three TCP victims under the co-located SipDp attack."""
+
+from repro.experiments import fig8a
+
+
+def test_fig8a_time_series(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: fig8a.run(duration=90.0), rounds=1, iterations=1
+    )
+    publish(result)
+    times = result.column("t_s")
+    sums = result.column("victim_sum_gbps")
+    baseline = max(v for t, v in zip(times, sums) if t < 30)
+    floor = min(v for t, v in zip(times, sums) if 35 <= t < 60)
+    assert baseline > 9.0          # paper: ~9.7 Gbps aggregate
+    assert floor < 0.55            # paper: below 0.5 Gbps
+    # Idle-timeout recovery: still degraded 5 s after the attack stops.
+    at_65 = next(v for t, v in zip(times, sums) if 64 <= t < 66)
+    assert at_65 < 0.3 * baseline

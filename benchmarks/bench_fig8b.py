@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 8b — OpenStack SipDp with the established-flow quirk."""
+
+from repro.experiments import fig8b
+
+
+def test_fig8b_time_series(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: fig8b.run(duration=120.0), rounds=1, iterations=1
+    )
+    publish(result)
+    times = result.column("t_s")
+    rates = result.column("victim_gbps")
+    first_attack = min(v for t, v in zip(times, rates) if 33 <= t < 60)
+    calm = max(v for t, v in zip(times, rates) if 75 <= t < 90)
+    re_attack = min(v for t, v in zip(times, rates) if 95 <= t < 120)
+    assert first_attack < 0.1 * calm      # paper: >90% reduction
+    assert re_attack > 0.75 * calm        # paper: only ~10% dip on re-attack

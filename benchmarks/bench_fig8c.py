@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 8c — Kubernetes SipSpDp with mid-run ACL injection."""
+
+from repro.experiments import fig8c
+
+
+def test_fig8c_time_series(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: fig8c.run(duration=150.0), rounds=1, iterations=1
+    )
+    publish(result)
+    times = result.column("t_s")
+    rates = result.column("victim_gbps")
+    pre_acl = min(v for t, v in zip(times, rates) if 35 <= t < 60)
+    post_acl = [v for t, v in zip(times, rates) if 80 <= t < 110]
+    final = [v for t, v in zip(times, rates) if 125 <= t < 150]
+    assert pre_acl > 0.7                          # minor glitch only
+    assert 0.05 < min(post_acl) < max(post_acl) < 0.35  # ~80% drop
+    assert max(final) < 0.05                      # full DoS at 2 kpps
+    assert max(result.column("megaflows")) > 8000  # the secondary axis

@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 9a — throughput vs mask count per NIC profile."""
+
+from repro.experiments import fig9a
+
+
+def test_fig9a_curves(benchmark, publish):
+    result = benchmark(fig9a.run)
+    publish(result)
+    gro_off = result.column("gro_off_gbps")
+    assert gro_off[0] > 9.0
+    assert gro_off[-1] < 0.05
+
+
+def test_fig9a_fct_series(benchmark):
+    """The secondary axis: 1 GB flow completion time."""
+    from repro.switch.costmodel import CostModel
+
+    model = CostModel()
+
+    def fct_sweep():
+        return [model.flow_completion_seconds(1.0, masks)
+                for masks in (1, 17, 260, 516, 8200)]
+
+    series = benchmark(fct_sweep)
+    assert series == sorted(series)
+    assert series[-1] > 300  # minutes once the tuple space explodes

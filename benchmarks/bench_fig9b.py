@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 9b — expected vs measured masks under General TSE."""
+
+from repro.experiments import fig9b
+
+
+def test_fig9b_expected_vs_measured(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: fig9b.run(runs=3, seed=0), rounds=1, iterations=1
+    )
+    publish(result)
+    # Paper's saturation values at 50k packets.
+    final = {name: result.column(name)[-1] for name in
+             ("Dp_E", "Dp_M", "SipDp_E", "SipDp_M", "SipSpDp_E", "SipSpDp_M")}
+    assert abs(final["Dp_E"] - 15.5) < 1.5
+    assert abs(final["SipDp_E"] - 121) < 5
+    assert abs(final["SipSpDp_E"] - 581) < 10
+    for case in ("Dp", "SipDp", "SipSpDp"):
+        assert abs(final[f"{case}_M"] - final[f"{case}_E"]) / final[f"{case}_E"] < 0.15

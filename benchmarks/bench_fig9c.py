@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 9c — MFCGuard slow-path CPU vs attack rate."""
+
+from repro.experiments import fig9c
+
+
+def test_fig9c_cpu_curve(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: fig9c.run(simulate_up_to=1000), rounds=1, iterations=1
+    )
+    publish(result)
+    by_rate = {row[0]: row[1] for row in result.rows}
+    assert abs(by_rate[1000] - 15.0) < 2.0   # paper: ~15% below 1 kpps
+    assert abs(by_rate[10000] - 80.0) < 5.0  # paper: ~80% at 10 kpps
+    assert by_rate[50000] <= 250.0           # saturation

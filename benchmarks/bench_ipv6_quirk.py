@@ -1,0 +1,16 @@
+"""Benchmark: the §5.4 IPv6 exact-match memory blow-up."""
+
+from repro.experiments import ipv6_quirk
+
+
+def test_ipv6_memory_blowup(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: ipv6_quirk.run(n_packets=20000), rounds=1, iterations=1
+    )
+    publish(result)
+    rows = {row[0]: row for row in result.rows}
+    exact = rows["ovs-default (v6 exact)"]
+    wild = rows["bit-wildcarding"]
+    assert exact[1] < 40            # masks stay tiny...
+    assert exact[2] > 15000         # ...entries explode
+    assert exact[3] > 5 * wild[3]   # memory blow-up vs wildcarding

@@ -1,0 +1,16 @@
+"""Benchmark: §8 MFCGuard on/off victim recovery."""
+
+from repro.experiments import mfcguard
+
+
+def test_mfcguard_recovery(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: mfcguard.run(duration=60.0), rounds=1, iterations=1
+    )
+    publish(result)
+    times = result.column("t_s")
+    late = [row for row, t in zip(result.rows, times) if t > 45]
+    guard_rate = max(row[3] for row in late)
+    noguard_rate = max(row[1] for row in late)
+    assert guard_rate > 5 * noguard_rate  # service restored under the guard
+    assert min(row[4] for row in late) < 150  # masks clipped back

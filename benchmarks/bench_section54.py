@@ -1,0 +1,16 @@
+"""Benchmark: the §5.4 use-case table (mask ceilings + retention)."""
+
+from repro.experiments import section54
+
+
+def test_section54_use_case_table(benchmark, publish):
+    result = benchmark.pedantic(section54.run, rounds=1, iterations=1)
+    publish(result)
+    by_case = {row[0]: row for row in result.rows}
+    masks = result.columns.index("mfc_masks")
+    assert by_case["Dp"][masks] == 16
+    assert by_case["SpDp"][masks] == 257
+    assert by_case["SipDp"][masks] == 513
+    assert by_case["SipSpDp"][masks] == 8209
+    gro_off = result.columns.index("gro_off_pct")
+    assert by_case["SipSpDp"][gro_off] < 0.5  # the paper's 0.2%

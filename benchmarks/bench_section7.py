@@ -1,0 +1,13 @@
+"""Benchmark: the §7 CMS-expressiveness ceilings."""
+
+from repro.experiments import section7
+
+
+def test_section7_expressiveness(benchmark, publish):
+    result = benchmark.pedantic(section7.run, rounds=1, iterations=1)
+    publish(result)
+    ceilings = result.column("max_masks")
+    # Paper: 512, 8192 ("full-blown DoS"), ~200 thousand.
+    assert ceilings[0] == 512 + 1
+    assert ceilings[1] == 8192 + 17
+    assert 200_000 < ceilings[2] < 300_000

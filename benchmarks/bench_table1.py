@@ -1,0 +1,12 @@
+"""Benchmark: Table 1 — environment profiles and their attack ceilings."""
+
+from repro.experiments import table1
+
+
+def test_table1_environments(benchmark, publish):
+    result = benchmark(table1.run)
+    publish(result)
+    by_env = {row[0]: row for row in result.rows}
+    ceiling = result.columns.index("max_masks")
+    assert by_env["OpenStack"][ceiling] == 512     # SipDp only
+    assert by_env["Kubernetes"][ceiling] == 8192   # SipSpDp via Calico

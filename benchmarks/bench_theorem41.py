@@ -1,0 +1,13 @@
+"""Benchmark: Theorem 4.1 trade-off sweep (ablation over k)."""
+
+from repro.experiments import theorem41
+
+
+def test_theorem41_tradeoff(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: theorem41.run(width=16, constructive_width=8), rounds=1, iterations=1
+    )
+    publish(result)
+    for row in result.rows:
+        _k, bound, construct, _bm, _be = row
+        assert construct >= bound

@@ -1,0 +1,10 @@
+"""Benchmark: Theorem 4.2 multi-field trade-offs (Fig. 6 widths)."""
+
+from repro.experiments import theorem42
+
+
+def test_theorem42_tradeoff(benchmark, publish):
+    result = benchmark.pedantic(theorem42.run, rounds=1, iterations=1)
+    publish(result)
+    wildcarding = result.rows[-1]
+    assert wildcarding[3] == 16 * 32 * 16 + 1 + 16  # the SipSpDp product

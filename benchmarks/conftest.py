@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper: the benchmarked
+callable produces the ExperimentResult, and the rows the paper reports are
+printed and saved under ``results/`` so ``pytest benchmarks/
+--benchmark-only`` leaves the full reproduction on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def publish():
+    """Print an ExperimentResult and persist it under results/."""
+
+    def _publish(result):
+        text = result.format_table()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        result.save(RESULTS_DIR)
+        return result
+
+    return _publish

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on offline hosts without the
+``wheel`` package (the PEP 660 path needs bdist_wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Packet classification substrates: flow tables, TSS cache, alternatives."""
+
+from repro.classifier.actions import ALLOW, DENY, Action, ActionKind
+from repro.classifier.base import ClassifierResult, PacketClassifier
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.harp import HarpClassifier
+from repro.classifier.hypercuts import HyperCutsClassifier
+from repro.classifier.linear import LinearSearchClassifier
+from repro.classifier.trie import HierarchicalTrieClassifier, prefix_length
+from repro.classifier.microflow import MicroflowCache
+from repro.classifier.rule import FlowRule, Match
+from repro.classifier.slowpath import (
+    EXACT_MATCH,
+    OVS_DEFAULT,
+    WILDCARDING,
+    MegaflowGenerator,
+    SlowPathResult,
+    StrategyConfig,
+)
+from repro.classifier.tss import (
+    ENTRY_BYTES,
+    MASK_BYTES,
+    MegaflowEntry,
+    TssLookupResult,
+    TupleSpaceSearch,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "ALLOW",
+    "DENY",
+    "Match",
+    "FlowRule",
+    "FlowTable",
+    "TupleSpaceSearch",
+    "MegaflowEntry",
+    "TssLookupResult",
+    "ENTRY_BYTES",
+    "MASK_BYTES",
+    "MicroflowCache",
+    "MegaflowGenerator",
+    "SlowPathResult",
+    "StrategyConfig",
+    "WILDCARDING",
+    "EXACT_MATCH",
+    "OVS_DEFAULT",
+    "PacketClassifier",
+    "ClassifierResult",
+    "LinearSearchClassifier",
+    "HierarchicalTrieClassifier",
+    "HyperCutsClassifier",
+    "HarpClassifier",
+    "prefix_length",
+]

@@ -1,0 +1,57 @@
+"""Adapter exposing the TSS-cached datapath through the classifier interface.
+
+Used by the §7 comparison: the other classifiers are traffic-independent,
+while this one's per-lookup cost (mask tables probed, plus the slow-path
+rule scan on misses) grows as attack traffic explodes the tuple space —
+the comparison benchmark plots exactly that contrast.
+"""
+
+from __future__ import annotations
+
+from repro.classifier.base import ClassifierResult, PacketClassifier
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.rule import FlowRule
+from repro.packet.fields import FlowKey
+from repro.switch.datapath import Datapath, DatapathConfig, PathTaken
+
+__all__ = ["TssCachedClassifier"]
+
+
+class TssCachedClassifier(PacketClassifier):
+    """A datapath-backed classifier (microflow + TSS megaflow + slow path).
+
+    Args:
+        rules: the rule list (loaded into a private flow table).
+        config: datapath knobs; the default disables the microflow cache so
+            the comparison measures the TSS scan itself.
+    """
+
+    name = "tss-cache"
+
+    def __init__(self, rules: list[FlowRule], config: DatapathConfig | None = None):
+        table = FlowTable(rules=list(rules), name="tss-adapter")
+        self.datapath = Datapath(
+            table, config or DatapathConfig(microflow_capacity=0)
+        )
+        self._clock = 0.0
+
+    def classify(self, key: FlowKey) -> ClassifierResult:
+        self._clock += 1e-6  # keep entry timestamps monotonic
+        verdict = self.datapath.process(key, now=self._clock)
+        cost = max(verdict.masks_inspected, 1)
+        if verdict.path is PathTaken.SLOW_PATH:
+            cost += verdict.rules_examined
+        name = verdict.installed.source_rule if verdict.installed is not None else ""
+        return ClassifierResult(action=verdict.action, cost=cost, rule_name=name)
+
+    def memory_units(self) -> int:
+        """Megaflow entries cached plus the backing rule list."""
+        return self.datapath.n_megaflows + len(self.datapath.flow_table)
+
+    def churn(self, seed: int = 0) -> None:
+        """Randomise the mask scan order (steady-state model, see TSS)."""
+        self.datapath.megaflows.shuffle_masks(seed)
+
+    @property
+    def n_masks(self) -> int:
+        return self.datapath.n_masks

@@ -1,0 +1,163 @@
+"""The ordered flow table: the slow-path classifier of §2.1.
+
+An ordered set of :class:`~repro.classifier.rule.FlowRule` with priorities.
+Lookup returns the highest-priority matching rule (insertion order breaks
+ties), exactly the order-dependent semantics the paper describes.  The table
+also exposes the structural queries used by the analysis and attack-trace
+modules (overlap detection, order-independence checks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.classifier.actions import DENY, Action
+from repro.classifier.rule import FlowRule, Match
+from repro.exceptions import RuleError
+from repro.packet.fields import FlowKey
+
+__all__ = ["FlowTable"]
+
+
+class FlowTable:
+    """An ordered, priority-aware flow table.
+
+    The table keeps rules sorted by (priority descending, insertion order
+    ascending); :meth:`lookup` scans that order and returns the first match,
+    which is the reference semantics every cached classifier in this library
+    must agree with.
+
+    Change notifications: components holding derived state (megaflow caches,
+    compiled classifiers) can subscribe with :meth:`subscribe` and rebuild
+    when rules change — this is how the simulated switch revalidates its
+    caches when a tenant injects a new ACL mid-experiment (Fig. 8c).
+    """
+
+    def __init__(self, rules: list[FlowRule] | None = None, name: str = "flowtable"):
+        self.name = name
+        self._rules: list[FlowRule] = []
+        self._sequence = 0
+        self._ordered: list[tuple[int, int, FlowRule]] = []  # (-prio, seq, rule)
+        self._subscribers: list[Callable[[], None]] = []
+        self.version = 0
+        for rule in rules or []:
+            self.add(rule)
+
+    # -- mutation ----------------------------------------------------------------
+    def add(self, rule: FlowRule) -> None:
+        """Insert a rule, keeping priority order."""
+        if not isinstance(rule, FlowRule):
+            raise RuleError(f"expected FlowRule, got {type(rule).__name__}")
+        self._rules.append(rule)
+        self._ordered.append((-rule.priority, self._sequence, rule))
+        self._sequence += 1
+        self._ordered.sort(key=lambda item: (item[0], item[1]))
+        self._notify()
+
+    def add_rule(
+        self,
+        match: Match,
+        action: Action,
+        priority: int = 0,
+        name: str = "",
+    ) -> FlowRule:
+        """Convenience: build and insert a rule, returning it."""
+        rule = FlowRule(match=match, action=action, priority=priority, name=name)
+        self.add(rule)
+        return rule
+
+    def add_default_deny(self, name: str = "default-deny") -> FlowRule:
+        """Append the lowest-priority match-all deny rule of the paper's ACLs."""
+        return self.add_rule(Match.any(), DENY, priority=0, name=name)
+
+    def remove(self, rule: FlowRule) -> None:
+        """Remove a previously added rule."""
+        try:
+            self._rules.remove(rule)
+        except ValueError:
+            raise RuleError(f"rule not in table: {rule!r}") from None
+        self._ordered = [item for item in self._ordered if item[2] is not rule]
+        self._notify()
+
+    def clear(self) -> None:
+        """Remove every rule."""
+        self._rules.clear()
+        self._ordered.clear()
+        self._notify()
+
+    def extend(self, rules: list[FlowRule]) -> None:
+        """Insert several rules (single change notification)."""
+        for rule in rules:
+            if not isinstance(rule, FlowRule):
+                raise RuleError(f"expected FlowRule, got {type(rule).__name__}")
+            self._rules.append(rule)
+            self._ordered.append((-rule.priority, self._sequence, rule))
+            self._sequence += 1
+        self._ordered.sort(key=lambda item: (item[0], item[1]))
+        self._notify()
+
+    def _notify(self) -> None:
+        self.version += 1
+        for callback in self._subscribers:
+            callback()
+
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired after every rule change."""
+        self._subscribers.append(callback)
+
+    # -- queries -----------------------------------------------------------------
+    def lookup(self, key: FlowKey) -> FlowRule | None:
+        """The highest-priority rule matching ``key`` (reference semantics)."""
+        for _nprio, _seq, rule in self._ordered:
+            if rule.matches(key):
+                return rule
+        return None
+
+    def classify(self, key: FlowKey) -> Action:
+        """Like :meth:`lookup` but defaulting to DENY when nothing matches."""
+        rule = self.lookup(key)
+        return rule.action if rule is not None else DENY
+
+    def rules_by_priority(self) -> list[FlowRule]:
+        """Rules in lookup order (priority desc, insertion asc)."""
+        return [rule for _nprio, _seq, rule in self._ordered]
+
+    def __iter__(self) -> Iterator[FlowRule]:
+        return iter(self.rules_by_priority())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def is_order_independent(self) -> bool:
+        """True when all rules are pairwise disjoint (§2.1).
+
+        Order-independent tables have a unique matching rule per packet, the
+        property the megaflow cache must establish via Inv(2).
+        """
+        ordered = self.rules_by_priority()
+        for i, first in enumerate(ordered):
+            for second in ordered[i + 1 :]:
+                if first.match.overlaps(second.match):
+                    return False
+        return True
+
+    def overlapping_pairs(self) -> list[tuple[FlowRule, FlowRule]]:
+        """All rule pairs a single packet could match (diagnostics)."""
+        ordered = self.rules_by_priority()
+        pairs = []
+        for i, first in enumerate(ordered):
+            for second in ordered[i + 1 :]:
+                if first.match.overlaps(second.match):
+                    pairs.append((first, second))
+        return pairs
+
+    def __repr__(self) -> str:
+        return f"FlowTable({self.name!r}, {len(self._rules)} rules)"
+
+    def format_table(self) -> str:
+        """Human-readable rendering in the style of the paper's Fig. 6."""
+        lines = [f"FlowTable {self.name!r}:"]
+        for rule in self.rules_by_priority():
+            label = rule.name or "-"
+            lines.append(f"  [prio={rule.priority:>4}] {label:<20} {rule.match!r} -> {rule.action}")
+        return "\n".join(lines)

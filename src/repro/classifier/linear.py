@@ -1,0 +1,43 @@
+"""Linear-search classifier: the reference semantics.
+
+Scans rules in priority order and returns the first match — exactly the
+:class:`~repro.classifier.flowtable.FlowTable` lookup, wrapped in the
+comparison interface.  Every other classifier must agree with this one
+(property-tested on random rule sets), and its cost (rules examined) is the
+baseline in the §7 comparison.
+"""
+
+from __future__ import annotations
+
+from repro.classifier.actions import DENY
+from repro.classifier.base import ClassifierResult, PacketClassifier
+from repro.classifier.rule import FlowRule
+from repro.packet.fields import FlowKey
+
+__all__ = ["LinearSearchClassifier"]
+
+
+class LinearSearchClassifier(PacketClassifier):
+    """Priority-ordered linear scan over a rule list."""
+
+    name = "linear"
+
+    def __init__(self, rules: list[FlowRule]):
+        # Sort once: priority descending, stable for insertion order.
+        self._rules = sorted(
+            enumerate(rules), key=lambda pair: (-pair[1].priority, pair[0])
+        )
+
+    def classify(self, key: FlowKey) -> ClassifierResult:
+        cost = 0
+        for _idx, rule in self._rules:
+            cost += 1
+            if rule.matches(key):
+                return ClassifierResult(action=rule.action, cost=cost, rule_name=rule.name)
+        return ClassifierResult(action=DENY, cost=cost)
+
+    def memory_units(self) -> int:
+        return len(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)

@@ -1,0 +1,86 @@
+"""The exact-match microflow cache (§2.2).
+
+A per-transport-connection LRU store where lookup happens over *all* header
+fields.  It is deliberately small ("a couple of hundred entries") and serves
+as short-term memory in front of the megaflow cache; the paper's attack
+traces add noise to unimportant header fields precisely to thrash it, so the
+victim's packets fall through to the (exploded) megaflow path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.classifier.tss import MegaflowEntry
+from repro.exceptions import ClassifierError
+from repro.packet.fields import FlowKey
+
+__all__ = ["MicroflowCache"]
+
+
+class MicroflowCache:
+    """Exact-match LRU cache mapping full flow keys to megaflow entries.
+
+    Args:
+        capacity: maximum number of microflows (OVS defaults to a few
+            hundred; 256 here).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ClassifierError(f"microflow capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[FlowKey, MegaflowEntry] = OrderedDict()
+        self.stats_hits = 0
+        self.stats_misses = 0
+        self.stats_evictions = 0
+
+    def lookup(self, key: FlowKey) -> MegaflowEntry | None:
+        """Exact-match probe; refreshes LRU position on hit.
+
+        A hit whose underlying megaflow was removed (e.g. by MFCGuard or the
+        revalidator) is treated as a miss and dropped, mirroring how OVS
+        invalidates microflows pointing at dead megaflows.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats_misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats_hits += 1
+        return entry
+
+    def insert(self, key: FlowKey, entry: MegaflowEntry) -> None:
+        """Install a microflow, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats_evictions += 1
+
+    def invalidate(self, entry: MegaflowEntry) -> int:
+        """Drop every microflow pointing at ``entry``; return the count."""
+        stale = [key for key, cached in self._entries.items() if cached is entry]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def flush(self) -> None:
+        """Drop everything."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from this cache (0 when unused)."""
+        total = self.stats_hits + self.stats_misses
+        return self.stats_hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"MicroflowCache({len(self._entries)}/{self.capacity} entries)"

@@ -1,0 +1,219 @@
+"""Slow-path megaflow generation: how flow-table lookups spawn MFC entries.
+
+This module implements the construction at the centre of the paper (§3.2,
+§4): given a packet that missed the megaflow cache, consult the ordered flow
+table and emit a megaflow entry that
+
+* **covers** the packet (Inv(1)), and
+* is **disjoint** from every entry any other packet can spawn (Inv(2)),
+
+while un-wildcarding as few bits as possible.  All the strategies the paper
+discusses are instances of one *chunked decision procedure*:
+
+Walk rules in priority order.  For each rule, examine its constrained
+fields in canonical field order; each field's constrained bits are split
+MSB-first into ``k`` chunks.  Un-wildcard chunks one at a time: if the
+packet agrees with the rule on the chunk, continue; at the first
+disagreeing chunk stop — the mismatch is proven and the remaining bits stay
+wildcarded.  If every constrained bit agrees the rule matches: emit
+``(packet & mask, mask, rule.action)``.
+
+* ``k = width`` (one-bit chunks) is the paper's **wildcarding strategy**:
+  for a single exact-match allow rule it yields the prefix-shaped cache of
+  Fig. 3 (w masks, w+1 entries), and for multi-field ACLs the
+  multiplicative mask explosion of Fig. 5 / Theorem 4.2.
+* ``k = 1`` (one chunk of all bits) is the **exact-match strategy** of
+  Fig. 2: a single mask, exponentially many keys.
+* intermediate ``k`` realises the O(k) time / O(k·2^(w/k)) space trade-off
+  of Theorem 4.1, which the ablation benchmarks sweep.
+
+Correctness argument (tested property, not just prose): the bits a packet
+un-wildcards pin down its entire decision path — agreeing chunks are pinned
+to the rule's values and the first disagreeing chunk is pinned to the
+packet's value, which disagrees with the rule for *every* packet matching
+the emitted entry.  Hence any packet matching an entry reproduces the exact
+path that created it, so overlapping entries are identical, which is
+Inv(2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping
+
+from repro.classifier.actions import DENY, Action
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.rule import FlowRule
+from repro.classifier.tss import MegaflowEntry
+from repro.exceptions import StrategyError
+from repro.packet.fields import FIELD_ORDER, FIELDS, FlowKey, FlowMask
+
+__all__ = [
+    "StrategyConfig",
+    "WILDCARDING",
+    "EXACT_MATCH",
+    "OVS_DEFAULT",
+    "MegaflowGenerator",
+    "SlowPathResult",
+]
+
+_INDEX = {name: i for i, name in enumerate(FIELD_ORDER)}
+
+
+@dataclass(frozen=True)
+class StrategyConfig:
+    """Tuple-space construction strategy (the ``k`` of Theorems 4.1/4.2).
+
+    Attributes:
+        default_chunks: number of chunks each constrained field is split
+            into.  ``None`` means one chunk **per bit** (``k = w``), the
+            paper's wildcarding strategy; ``1`` collapses the whole field
+            into a single chunk, the exact-match strategy.
+        field_chunks: per-field overrides, e.g. ``{"ipv6_src": 1}``.
+        wide_field_threshold: when set, any constrained field wider than
+            this many bits is forced to one chunk.  This models the OVS
+            behaviour of §5.4 where IPv6 addresses are exact-matched (few
+            masks, entry explosion) while ports are still bit-wildcarded.
+    """
+
+    default_chunks: int | None = None
+    field_chunks: Mapping[str, int] = dc_field(default_factory=dict)
+    wide_field_threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.default_chunks is not None and self.default_chunks < 1:
+            raise StrategyError(f"default_chunks must be >= 1, got {self.default_chunks}")
+        for name, k in self.field_chunks.items():
+            if name not in FIELDS:
+                raise StrategyError(f"unknown field {name!r} in field_chunks")
+            if k < 1:
+                raise StrategyError(f"{name}: chunk count must be >= 1, got {k}")
+        if self.wide_field_threshold is not None and self.wide_field_threshold < 1:
+            raise StrategyError("wide_field_threshold must be >= 1")
+
+    def chunks_for(self, field_name: str) -> int | None:
+        """Chunk count for ``field_name`` (None = per-bit)."""
+        if field_name in self.field_chunks:
+            return self.field_chunks[field_name]
+        width = FIELDS[field_name].width
+        if self.wide_field_threshold is not None and width > self.wide_field_threshold:
+            return 1
+        return self.default_chunks
+
+
+#: The paper's "wildcarding" strategy — what OVS usually does (§4.1).
+WILDCARDING = StrategyConfig(default_chunks=None)
+
+#: The paper's "exact-match" strategy — one mask, exponential keys (Fig. 2).
+EXACT_MATCH = StrategyConfig(default_chunks=1)
+
+#: OVS-as-observed: bit-level wildcarding, except IPv6 addresses are
+#: exact-matched (the §5.4 memory blow-up quirk).
+OVS_DEFAULT = StrategyConfig(default_chunks=None, wide_field_threshold=64)
+
+
+@dataclass(frozen=True)
+class SlowPathResult:
+    """Outcome of one slow-path invocation.
+
+    Attributes:
+        entry: the generated megaflow (always covers the packet).
+        rule: the flow-table rule that matched (None on table miss).
+        rules_examined: how many rules the linear scan visited.
+    """
+
+    entry: MegaflowEntry
+    rule: FlowRule | None
+    rules_examined: int
+
+
+class MegaflowGenerator:
+    """Generates megaflow entries from flow-table lookups.
+
+    Args:
+        table: the ordered flow table (slow-path classifier).
+        strategy: tuple-space construction strategy.
+    """
+
+    def __init__(self, table: FlowTable, strategy: StrategyConfig = WILDCARDING):
+        self.table = table
+        self.strategy = strategy
+        # (field, rule mask) -> chunk masks, precomputed per rule constraint.
+        self._chunk_cache: dict[tuple[str, int], tuple[int, ...]] = {}
+
+    # -- chunk computation ------------------------------------------------------
+    def _chunks(self, field_name: str, rule_mask: int) -> tuple[int, ...]:
+        """Split a rule's constrained bits into the strategy's chunk masks."""
+        cached = self._chunk_cache.get((field_name, rule_mask))
+        if cached is not None:
+            return cached
+        width = FIELDS[field_name].width
+        # Constrained bit positions, MSB first.
+        positions = [p for p in range(width) if rule_mask & (1 << (width - 1 - p))]
+        k = self.strategy.chunks_for(field_name)
+        if k is None or k >= len(positions):
+            groups = [[p] for p in positions]
+        else:
+            # Split into k nearly-equal contiguous groups (first groups get
+            # the remainder), mirroring numpy.array_split semantics.
+            n = len(positions)
+            base, extra = divmod(n, k)
+            groups = []
+            start = 0
+            for i in range(k):
+                size = base + (1 if i < extra else 0)
+                groups.append(positions[start : start + size])
+                start += size
+        chunk_masks = tuple(
+            sum(1 << (width - 1 - p) for p in group) for group in groups if group
+        )
+        self._chunk_cache[(field_name, rule_mask)] = chunk_masks
+        return chunk_masks
+
+    # -- the decision procedure ---------------------------------------------------
+    def generate(self, key: FlowKey) -> SlowPathResult:
+        """Run the chunked decision procedure for ``key`` (see module doc)."""
+        mask_values = [0] * len(FIELD_ORDER)
+        key_values = key.values
+        rules_examined = 0
+        for rule in self.table.rules_by_priority():
+            rules_examined += 1
+            matched = True
+            for field_name, rule_value, rule_mask in rule.match.constraints():
+                idx = _INDEX[field_name]
+                key_value = key_values[idx]
+                for chunk in self._chunks(field_name, rule_mask):
+                    mask_values[idx] |= chunk
+                    if (key_value ^ rule_value) & chunk:
+                        matched = False
+                        break
+                if not matched:
+                    break
+            if matched:
+                return self._emit(key, mask_values, rule.action, rule, rules_examined)
+        # Table miss: OpenFlow table-miss defaults to drop.  Every examined
+        # bit stays in the mask so the miss entry remains disjoint from the
+        # rule-matching entries.
+        return self._emit(key, mask_values, DENY, None, rules_examined)
+
+    def _emit(
+        self,
+        key: FlowKey,
+        mask_values: list[int],
+        action: Action,
+        rule: FlowRule | None,
+        rules_examined: int,
+    ) -> SlowPathResult:
+        mask = FlowMask.from_values(tuple(mask_values))
+        entry = MegaflowEntry(
+            mask=mask,
+            key=key.masked(mask),
+            action=action,
+            source_rule=rule.name if rule is not None else "<table-miss>",
+        )
+        return SlowPathResult(entry=entry, rule=rule, rules_examined=rules_examined)
+
+    def classify(self, key: FlowKey) -> Action:
+        """Reference classification (ignores caches): flow-table semantics."""
+        rule = self.table.lookup(key)
+        return rule.action if rule is not None else DENY

@@ -1,0 +1,159 @@
+"""MFCGuard: the short-term mitigation of §8 (Algorithm 2).
+
+MFCGuard monitors the megaflow cache every ``period`` seconds (10 s, the
+MFC eviction cadence).  When the mask count exceeds ``mask_threshold`` it
+scans the flow table for rules whose TSE pattern appears in the cache
+(:mod:`repro.core.detector`) and deletes the matching entries — **deny
+entries only** (requirement (i) of §8), so traffic the ACL admits keeps its
+fast path while adversarial packets are demoted to the slow path.
+
+Deleting has a price: per the documented OVS quirk, deleted megaflows never
+re-spark, so every matching packet hits the slow path forever after.  The
+guard therefore tracks the estimated upcall rate its deletions cause and
+stops deleting when the projected slow-path CPU would exceed
+``cpu_threshold`` (requirement (ii); Fig. 9c plots this CPU curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detector import find_tse_entries
+from repro.exceptions import ExperimentError
+from repro.switch.costmodel import SlowPathModel
+from repro.switch.datapath import Datapath
+
+__all__ = ["MFCGuardConfig", "GuardReport", "MFCGuard"]
+
+
+@dataclass(frozen=True)
+class MFCGuardConfig:
+    """Algorithm 2 inputs.
+
+    Attributes:
+        mask_threshold: ``m_th`` — masks tolerated before cleaning starts.
+        cpu_threshold_pct: ``c_th`` — slow-path CPU budget; deletion stops
+            when the projected load reaches it.
+        period: seconds between runs (the paper uses 10 s).
+        permanent_delete: model the "never re-sparked" OVS behaviour;
+            disable to study a hypothetical fixed datapath.
+    """
+
+    mask_threshold: int = 100
+    cpu_threshold_pct: float = 90.0
+    period: float = 10.0
+    permanent_delete: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mask_threshold < 0:
+            raise ExperimentError("mask_threshold must be >= 0")
+        if not 0 < self.cpu_threshold_pct <= 1000:
+            raise ExperimentError("cpu_threshold_pct out of range")
+        if self.period <= 0:
+            raise ExperimentError("period must be positive")
+
+
+@dataclass
+class GuardReport:
+    """What one MFCGuard run did."""
+
+    ran: bool = False
+    masks_before: int = 0
+    masks_after: int = 0
+    entries_deleted: int = 0
+    rules_cleaned: tuple[str, ...] = ()
+    projected_cpu_pct: float = 0.0
+    stopped_by_cpu: bool = False
+
+
+class MFCGuard:
+    """The monitoring/eviction daemon of §8, bound to one datapath.
+
+    Args:
+        datapath: the switch to guard.
+        config: thresholds and cadence.
+        slow_path_model: upcall-rate → CPU%% model (Fig. 9c calibration).
+    """
+
+    def __init__(
+        self,
+        datapath: Datapath,
+        config: MFCGuardConfig | None = None,
+        slow_path_model: SlowPathModel | None = None,
+    ):
+        self.datapath = datapath
+        self.config = config or MFCGuardConfig()
+        self.slow_path_model = slow_path_model or SlowPathModel()
+        self._next_run = self.config.period
+        self._demoted_pps = 0.0  # estimated packet rate now pinned to the slow path
+        self.total_deleted = 0
+        self.runs = 0
+
+    # -- scheduling -----------------------------------------------------------
+    def tick(self, now: float) -> GuardReport:
+        """Run Algorithm 2 if the 10-second cadence has elapsed."""
+        if now < self._next_run:
+            return GuardReport(ran=False, masks_before=self.datapath.n_masks,
+                               masks_after=self.datapath.n_masks)
+        self._next_run = now + self.config.period
+        return self.run(now)
+
+    # -- Algorithm 2 ------------------------------------------------------------
+    def run(self, now: float) -> GuardReport:
+        """One guard pass: check masks, scan rules, delete, watch CPU."""
+        self.runs += 1
+        masks_before = self.datapath.n_masks
+        report = GuardReport(ran=True, masks_before=masks_before, masks_after=masks_before,
+                             projected_cpu_pct=self.projected_cpu_pct())
+        if masks_before <= self.config.mask_threshold:
+            return report
+
+        deleted = 0
+        cleaned: list[str] = []
+        stopped = False
+        patterns = find_tse_entries(self.datapath.megaflows, self.datapath.flow_table)
+        for pattern in patterns:
+            # Delete this rule's adversarial entries (drop-only by
+            # construction of the detector).
+            rate = 0.0
+            for entry in pattern.entries:
+                age = max(now - entry.created_at, self.config.period)
+                rate += entry.hits / age
+                self.datapath.kill_entry(entry, permanent=self.config.permanent_delete)
+                deleted += 1
+            cleaned.append(pattern.rule.name or repr(pattern.rule.match))
+            self._demoted_pps += rate
+
+            # Line 9-12: re-check CPU after each rule's cleanup.
+            cpu = self.projected_cpu_pct()
+            if cpu >= self.config.cpu_threshold_pct:
+                stopped = True
+                break
+
+        self.total_deleted += deleted
+        return GuardReport(
+            ran=True,
+            masks_before=masks_before,
+            masks_after=self.datapath.n_masks,
+            entries_deleted=deleted,
+            rules_cleaned=tuple(cleaned),
+            projected_cpu_pct=self.projected_cpu_pct(),
+            stopped_by_cpu=stopped,
+        )
+
+    # -- CPU accounting ------------------------------------------------------------
+    def projected_cpu_pct(self) -> float:
+        """Slow-path CPU implied by the traffic the guard has demoted."""
+        return self.slow_path_model.cpu_pct(self._demoted_pps)
+
+    def note_attack_rate(self, pps: float) -> None:
+        """Feed an externally measured demoted-packet rate (simulations
+        where entry hit counters are not advanced packet-by-packet)."""
+        if pps < 0:
+            raise ExperimentError("pps must be >= 0")
+        self._demoted_pps = pps
+
+    @property
+    def demoted_pps(self) -> float:
+        """Current estimate of slow-path-pinned packet rate."""
+        return self._demoted_pps

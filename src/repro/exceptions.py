@@ -1,0 +1,57 @@
+"""Exception hierarchy for the TSE reproduction library.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while the
+subclasses keep the failure domains (packets, classifiers, simulation,
+experiments) distinguishable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class PacketError(ReproError):
+    """Malformed packet data, bad field values, or failed parsing."""
+
+
+class FieldError(PacketError):
+    """A header field name is unknown or a value does not fit its width."""
+
+
+class PcapError(PacketError):
+    """A pcap stream is truncated, has a bad magic number, or bad records."""
+
+
+class ClassifierError(ReproError):
+    """A packet classifier was misused or reached an inconsistent state."""
+
+
+class RuleError(ClassifierError):
+    """A flow rule or match expression is malformed."""
+
+
+class CacheInvariantError(ClassifierError):
+    """A megaflow cache invariant (Cover / Independence) would be violated."""
+
+
+class StrategyError(ClassifierError):
+    """A megaflow generation strategy received invalid parameters."""
+
+
+class SwitchError(ReproError):
+    """The simulated software switch was misconfigured or misused."""
+
+
+class SimulationError(ReproError):
+    """The discrete-time network simulation was misconfigured."""
+
+
+class PolicyError(SimulationError):
+    """A CMS security policy is not expressible by the selected backend."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness received invalid parameters."""

@@ -1,0 +1,61 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(**params) -> ExperimentResult``.  Run any of
+them from the command line::
+
+    python -m repro.experiments <id> [--save DIR]
+    python -m repro.experiments --list
+
+IDs: didactic, fig8a, fig8b, fig8c, fig9a, fig9b, fig9c, section54,
+section62, table1, theorem41, theorem42, ipv6, comparison, mfcguard.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    comparison,
+    didactic,
+    fig8a,
+    fig8b,
+    fig8c,
+    fig9a,
+    fig9b,
+    fig9c,
+    ipv6_quirk,
+    mfcguard,
+    section54,
+    section62,
+    section7,
+    table1,
+    theorem41,
+    theorem42,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "ExperimentResult"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "didactic": didactic.run,
+    "fig8a": fig8a.run,
+    "fig8b": fig8b.run,
+    "fig8c": fig8c.run,
+    "fig9a": fig9a.run,
+    "fig9b": fig9b.run,
+    "fig9c": fig9c.run,
+    "section54": section54.run,
+    "section62": section62.run,
+    "section7": section7.run,
+    "table1": table1.run,
+    "theorem41": theorem41.run,
+    "theorem42": theorem42.run,
+    "ipv6": ipv6_quirk.run,
+    "comparison": comparison.run,
+    "mfcguard": mfcguard.run,
+}
+
+
+def run_experiment(experiment_id: str, **params) -> ExperimentResult:
+    """Run one experiment by id (raises KeyError for unknown ids)."""
+    return EXPERIMENTS[experiment_id](**params)

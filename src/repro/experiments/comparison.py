@@ -1,0 +1,109 @@
+"""§7 — classifier robustness comparison under TSE traffic.
+
+The paper's long-term mitigation: replace TSS with classifiers whose
+lookup cost does not depend on traffic history — hierarchical tries,
+HyperCuts, HaRP.  This harness runs the same three traffic phases through
+every classifier and reports the mean per-packet lookup cost (each in its
+own units — the *trend across phases* is the result):
+
+1. **benign** — packets matching the ACL's allow rules;
+2. **attack** — the co-located TSE trace;
+3. **benign-after** — the benign mix again, after the attack.
+
+The TSS-cached datapath's benign cost explodes after the attack (its mask
+list is bloated); the alternatives are flat by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.classifier.adapter import TssCachedClassifier
+from repro.classifier.base import PacketClassifier
+from repro.classifier.harp import HarpClassifier
+from repro.classifier.hypercuts import HyperCutsClassifier
+from repro.classifier.linear import LinearSearchClassifier
+from repro.classifier.trie import HierarchicalTrieClassifier
+from repro.core.tracegen import ColocatedTraceGenerator
+from repro.core.usecases import SIPSPDP, UseCase
+from repro.experiments.common import ExperimentResult
+from repro.packet.fields import FlowKey
+from repro.packet.headers import PROTO_TCP
+
+__all__ = ["run"]
+
+
+def _benign_keys(use_case: UseCase, n: int, seed: int) -> list[FlowKey]:
+    """Packets the ACL admits (one per allow rule, varied source ports)."""
+    rng = np.random.default_rng(seed)
+    keys = []
+    for index in range(n):
+        field = use_case.allow_fields[index % len(use_case.allow_fields)]
+        kwargs = {"ip_proto": PROTO_TCP, field: use_case.allow_value(field)}
+        if field != "tp_src":
+            kwargs["tp_src"] = int(rng.integers(1024, 65536))
+        keys.append(FlowKey(**kwargs))
+    return keys
+
+
+def run(
+    use_case: UseCase = SIPSPDP,
+    benign_packets: int = 2000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the three-phase robustness comparison."""
+    table = use_case.build_table()
+    rules = table.rules_by_priority()
+    classifiers: Sequence[PacketClassifier] = (
+        TssCachedClassifier(rules),
+        LinearSearchClassifier(rules),
+        HierarchicalTrieClassifier(rules),
+        HyperCutsClassifier(rules),
+        HarpClassifier(rules),
+    )
+    benign = _benign_keys(use_case, benign_packets, seed)
+    attack = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate().keys
+
+    result = ExperimentResult(
+        experiment_id="comparison",
+        title=f"per-packet lookup cost by phase ({use_case.name} ACL)",
+        paper_reference="§7 long-term mitigation / §9",
+        columns=[
+            "classifier", "benign_cost", "attack_cost", "benign_after_cost",
+            "degradation_x", "memory_units",
+        ],
+    )
+    for classifier in classifiers:
+        phases = []
+        for phase_index, keys in enumerate((benign, attack, benign)):
+            if phase_index == 2 and isinstance(classifier, TssCachedClassifier):
+                # Steady state: a long-running switch's mask order has
+                # decorrelated from insertion order (idle churn), which is
+                # the paper's victim-at-mid-scan model.
+                classifier.churn(seed=1)
+            costs = [classifier.classify(key).cost for key in keys]
+            phases.append(sum(costs) / len(costs))
+        degradation = phases[2] / phases[0] if phases[0] else float("inf")
+        result.add_row(
+            classifier.name,
+            round(phases[0], 2),
+            round(phases[1], 2),
+            round(phases[2], 2),
+            round(degradation, 1),
+            classifier.memory_units(),
+        )
+    result.notes.append(
+        "degradation_x = benign cost after the attack / before it; TSS inherits the "
+        "bloated mask list, the §7 alternatives are traffic-independent (≈1.0)"
+    )
+    result.notes.append(
+        "costs are classifier-specific units (masks probed, rules scanned, nodes "
+        "visited, hash probes) — compare trends, not absolute values"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

@@ -1,0 +1,104 @@
+"""Fig. 8b — OpenStack testbed, SipDp scenario, UDP victim.
+
+Timeline (per §5.5): the attacker sends from t = 0 at 100 pps, stops at
+60 s, restarts at 90 s.  The victim joins with a full-rate UDP iperf at
+30 s.  The paper reports >90% degradation while both are active, recovery
+10 s after the attacker stops, and — the curious part — only a ~10% dip
+when the attacker *resumes*, because established flows are barely affected
+(our model: the kernel mask-memo quirk, see DESIGN.md substitution #5).
+
+The OpenStack CMS only admits SipDp (no source-port filters), which is why
+this testbed cannot run the full Fig. 6 ACL.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.testbeds import TRUSTED_IP, build_testbed
+from repro.netsim.cloud import OPENSTACK_ENV
+from repro.netsim.cms import PolicyRule
+from repro.netsim.flows import ActiveWindow, AttackSource
+
+__all__ = ["run"]
+
+
+def run(
+    duration: float = 120.0,
+    victim_start: float = 30.0,
+    attack_windows: tuple[tuple[float, float], ...] = ((0.0, 60.0), (90.0, 120.0)),
+    attack_pps: float = 100.0,
+    dt: float = 0.1,
+    sample_every: float = 1.0,
+) -> ExperimentResult:
+    """Regenerate the Fig. 8b time series."""
+    testbed = build_testbed(OPENSTACK_ENV, dt=dt, victim_protocol="udp")
+    trace = testbed.attack_trace(
+        [
+            PolicyRule(dst_port=80),
+            PolicyRule(remote_ip=(TRUSTED_IP, 0xFFFFFFFF)),
+        ],
+        label="SipDp",
+    )
+    victim = testbed.add_victim_flow(
+        "victim",
+        offered_gbps=9.5,
+        kind="udp",
+        windows=[ActiveWindow(victim_start, duration)],
+    )
+    attacker = AttackSource(
+        host=testbed.server.host,
+        keys=trace.keys,
+        pps=attack_pps,
+        windows=[ActiveWindow(start, stop) for start, stop in attack_windows],
+        name="attacker",
+    )
+    simulation = testbed.simulation
+    simulation.add(attacker)
+    simulation.add(testbed.server.host)
+
+    result = ExperimentResult(
+        experiment_id="fig8b",
+        title="OpenStack SipDp: UDP victim vs on/off attacker",
+        paper_reference="Fig. 8b (§5.5)",
+        columns=["t_s", "victim_gbps", "attacker_pps", "mfc_masks", "victim_protected"],
+    )
+    sample_ticks = max(1, round(sample_every / dt))
+    tick_counter = {"n": 0}
+
+    def observer(now: float) -> None:
+        victim.settle(now, dt)
+        tick_counter["n"] += 1
+        if tick_counter["n"] % sample_ticks:
+            return
+        state = testbed.server.host.victims["victim"]
+        result.add_row(
+            round(now, 3),
+            round(victim.rate_gbps, 4),
+            attacker.current_pps,
+            testbed.server.datapath.n_masks,
+            state.protected,
+        )
+
+    simulation.observe(observer)
+    simulation.run(duration)
+
+    times = result.column("t_s")
+    rates = result.column("victim_gbps")
+    first_attack = [v for t, v in zip(times, rates) if victim_start + 3 <= t < attack_windows[0][1]]
+    calm = [v for t, v in zip(times, rates) if attack_windows[0][1] + 15 <= t < attack_windows[1][0]]
+    re_attack = [v for t, v in zip(times, rates) if attack_windows[1][0] + 5 <= t < duration]
+    baseline = max(calm) if calm else float("nan")
+    result.notes.append(
+        f"victim under first attack: {min(first_attack):.2f}-{max(first_attack):.2f} Gbps "
+        f"({100 * (1 - min(first_attack) / baseline):.0f}% degradation; paper: >90%)"
+    )
+    result.notes.append(
+        f"calm-window rate {baseline:.2f} Gbps; re-attack rate {min(re_attack):.2f} Gbps "
+        f"({100 * (1 - min(re_attack) / baseline):.0f}% dip; paper: ~10% — established flows "
+        "barely affected, modelled by the kernel mask-memo quirk)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

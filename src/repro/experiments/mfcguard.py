@@ -1,0 +1,117 @@
+"""§8 — MFCGuard end-to-end: victim recovery under active mitigation.
+
+Runs the synthetic SipSpDp attack twice — guard off, guard on — and
+reports the victim's throughput timeline.  With the guard, the mask count
+is clipped back at every 10-second pass and the victim returns to (near)
+baseline *while the attack continues*; the price is the attack traffic
+being pinned to the slow path (upcall rate ≈ attack rate, the CPU cost
+Fig. 9c quantifies).
+"""
+
+from __future__ import annotations
+
+from repro.core.mitigation import MFCGuardConfig
+from repro.experiments.common import ExperimentResult
+from repro.experiments.testbeds import TRUSTED_IP, build_testbed
+from repro.netsim.cloud import SYNTHETIC_ENV
+from repro.netsim.cms import PolicyRule
+from repro.netsim.flows import ActiveWindow, AttackSource
+
+__all__ = ["run"]
+
+
+def _one_run(
+    with_guard: bool,
+    duration: float,
+    attack_start: float,
+    attack_pps: float,
+    dt: float,
+    sample_every: float,
+) -> list[tuple[float, float, int, float]]:
+    testbed = build_testbed(SYNTHETIC_ENV, dt=dt, victim_protocol="udp", with_guard=with_guard)
+    if with_guard:
+        testbed.server.host.guard.config = MFCGuardConfig(
+            mask_threshold=100, cpu_threshold_pct=200.0
+        )
+    trace = testbed.attack_trace(
+        [
+            PolicyRule(dst_port=80),
+            PolicyRule(remote_ip=(TRUSTED_IP, 0xFFFFFFFF)),
+            PolicyRule(src_port=12345),
+        ],
+        label="SipSpDp",
+        # Deny-only trace: the strongest variant against a guard that may
+        # only evict drop entries (requirement (i) of §8).
+        include_allow_paths=False,
+    )
+    victim = testbed.add_victim_flow("victim", offered_gbps=9.5, kind="udp")
+    attacker = AttackSource(
+        host=testbed.server.host,
+        keys=trace.keys,
+        pps=attack_pps,
+        windows=[ActiveWindow(attack_start, duration)],
+    )
+    simulation = testbed.simulation
+    simulation.add(attacker)
+    simulation.add(testbed.server.host)
+
+    samples: list[tuple[float, float, int, float]] = []
+    sample_ticks = max(1, round(sample_every / dt))
+    counter = {"n": 0}
+
+    def observer(now: float) -> None:
+        victim.settle(now, dt)
+        counter["n"] += 1
+        if counter["n"] % sample_ticks:
+            return
+        samples.append(
+            (
+                round(now, 3),
+                round(victim.rate_gbps, 4),
+                testbed.server.datapath.n_masks,
+                round(testbed.server.host.upcall_pps, 1),
+            )
+        )
+
+    simulation.observe(observer)
+    simulation.run(duration)
+    return samples
+
+
+def run(
+    duration: float = 60.0,
+    attack_start: float = 10.0,
+    attack_pps: float = 1000.0,
+    dt: float = 0.1,
+    sample_every: float = 2.0,
+) -> ExperimentResult:
+    """Regenerate the guard-on/guard-off comparison."""
+    without = _one_run(False, duration, attack_start, attack_pps, dt, sample_every)
+    with_guard = _one_run(True, duration, attack_start, attack_pps, dt, sample_every)
+
+    result = ExperimentResult(
+        experiment_id="mfcguard",
+        title=f"MFCGuard on/off under a {attack_pps:.0f} pps SipSpDp attack",
+        paper_reference="§8 (Alg. 2) / Fig. 9c",
+        columns=[
+            "t_s", "victim_gbps_noguard", "masks_noguard",
+            "victim_gbps_guard", "masks_guard", "upcall_pps_guard",
+        ],
+    )
+    for (t, v0, m0, _u0), (_t, v1, m1, u1) in zip(without, with_guard):
+        result.add_row(t, v0, m0, v1, m1, u1)
+
+    late = [row for row in result.rows if row[0] >= attack_start + 25]
+    result.notes.append(
+        f"steady state under attack: no-guard victim ~{late[-1][1]:.2f} Gbps at "
+        f"{late[-1][2]} masks; guarded victim ~{late[-1][3]:.2f} Gbps at {late[-1][4]} masks"
+    )
+    result.notes.append(
+        f"guarded slow-path load ~{late[-1][5]:.0f} upcalls/s ≈ the attack rate — the "
+        "deleted entries never re-spark, so adversarial packets stay on the slow path (§8)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

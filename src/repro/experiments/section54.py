@@ -1,0 +1,81 @@
+"""§5.4 in-text table — use-case mask ceilings and throughput retention.
+
+The synthetic-test narrative quotes, per use case, the maximum attainable
+MFC masks (17 / 260 / 516 / 8200 on the x-axis of Fig. 9a) and the victim
+throughput as a percentage of baseline per NIC profile.  This harness
+replays each use case's co-located trace through a real datapath, counts
+the masks it actually spawns, and evaluates the calibrated curves at that
+count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.tracegen import ColocatedTraceGenerator
+from repro.core.usecases import DP, SIPDP, SIPSPDP, SPDP, UseCase
+from repro.experiments.common import ExperimentResult
+from repro.packet.headers import PROTO_TCP
+from repro.switch.calibration import fit_profile
+from repro.switch.datapath import Datapath, DatapathConfig
+from repro.switch.offload import FHO_TCP, GRO_OFF_TCP, GRO_ON_TCP, UDP_PROFILE
+
+__all__ = ["run", "PAPER_PERCENTAGES"]
+
+# §5.4 narrative: % of baseline at each use case, (GRO ON, FHO, GRO OFF).
+PAPER_PERCENTAGES = {
+    "Dp": (97.0, 88.0, 53.0),
+    "SpDp": (95.0, 43.0, 10.0),
+    "SipDp": (76.0, 29.0, 4.7),
+    "SipSpDp": (3.9, 2.1, 0.2),
+}
+
+
+def run(use_cases: Sequence[UseCase] = (DP, SPDP, SIPDP, SIPSPDP)) -> ExperimentResult:
+    """Regenerate the §5.4 use-case table."""
+    result = ExperimentResult(
+        experiment_id="section54",
+        title="use-case mask ceilings and throughput retention (% of baseline)",
+        paper_reference="§5.4 in-text numbers / Fig. 9a x-ticks",
+        columns=[
+            "use_case", "trace_pkts", "mfc_masks", "paper_masks",
+            "gro_on_pct", "fho_pct", "gro_off_pct", "udp_pct",
+            "paper_gro_on", "paper_fho", "paper_gro_off",
+        ],
+    )
+    curves = {
+        "gro_on": fit_profile(GRO_ON_TCP),
+        "fho": fit_profile(FHO_TCP),
+        "gro_off": fit_profile(GRO_OFF_TCP),
+        "udp": fit_profile(UDP_PROFILE),
+    }
+    paper_mask_ticks = {"Dp": 17, "SpDp": 260, "SipDp": 516, "SipSpDp": 8200}
+
+    for use_case in use_cases:
+        table = use_case.build_table()
+        trace = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate()
+        datapath = Datapath(table, DatapathConfig(microflow_capacity=0))
+        for key in trace.keys:
+            datapath.process(key)
+        masks = datapath.n_masks
+        paper = PAPER_PERCENTAGES[use_case.name]
+        result.add_row(
+            use_case.name,
+            len(trace),
+            masks,
+            paper_mask_ticks[use_case.name],
+            round(100 * curves["gro_on"].fraction(masks), 1),
+            round(100 * curves["fho"].fraction(masks), 1),
+            round(100 * curves["gro_off"].fraction(masks), 2),
+            round(100 * curves["udp"].fraction(masks), 2),
+            *paper,
+        )
+    result.notes.append(
+        "measured masks are the analytic ceilings (16/257/513/8209); the paper's ticks "
+        "include the benign flow's mask and round to 17/260/516/8200"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

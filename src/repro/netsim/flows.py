@@ -1,0 +1,210 @@
+"""Traffic sources: attack replay, random floods, iperf-like victim flows.
+
+Attack sources inject *real* packets into the hypervisor's datapath — at
+the paper's attack rates (100–2000 pps) that is cheap enough to simulate
+per packet, and it is what makes the mask counts genuine.  Victim flows
+operate in the hybrid mode described in DESIGN.md: a few keepalive packets
+per tick hold their cache entries, while their rate follows the capacity
+the hypervisor assigns (TCP ramps toward it, UDP jumps to it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.general import GeneralTraceGenerator
+from repro.exceptions import SimulationError
+from repro.netsim.hypervisor import HypervisorHost
+from repro.packet.fields import FlowKey
+
+__all__ = ["ActiveWindow", "AttackSource", "RandomFloodSource", "VictimFlow"]
+
+
+@dataclass(frozen=True)
+class ActiveWindow:
+    """A half-open activity interval [start, stop)."""
+
+    start: float
+    stop: float
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise SimulationError(f"empty window [{self.start}, {self.stop})")
+
+    def contains(self, time: float) -> bool:
+        return self.start <= time < self.stop
+
+
+class AttackSource:
+    """Replays an adversarial trace at a fixed packet rate.
+
+    Args:
+        host: the hypervisor under attack.
+        keys: the trace (looped when exhausted, like ``tcpreplay --loop``).
+        pps: packet rate while active.
+        windows: activity intervals; always active when empty.
+        name: label for metrics.
+    """
+
+    def __init__(
+        self,
+        host: HypervisorHost,
+        keys: Sequence[FlowKey] | Iterable[FlowKey],
+        pps: float,
+        windows: Sequence[ActiveWindow] = (),
+        name: str = "attacker",
+        loop: bool = True,
+        key_stream: Iterator[FlowKey] | None = None,
+    ):
+        if pps < 0:
+            raise SimulationError(f"pps must be >= 0, got {pps}")
+        self.host = host
+        self.pps = pps
+        self.windows = tuple(windows)
+        self.name = name
+        if key_stream is not None:
+            self._iter: Iterator[FlowKey] = key_stream
+        else:
+            trace = list(keys)
+            if not trace:
+                raise SimulationError("attack trace is empty")
+            self._iter = itertools.cycle(trace) if loop else iter(trace)
+        self._carry = 0.0  # fractional packets across ticks
+        self.packets_sent = 0
+        self.current_pps = 0.0
+
+    def active(self, now: float) -> bool:
+        if not self.windows:
+            return True
+        return any(window.contains(now) for window in self.windows)
+
+    def set_rate(self, pps: float) -> None:
+        """Change the attack rate mid-run (the Fig. 8c escalation)."""
+        if pps < 0:
+            raise SimulationError(f"pps must be >= 0, got {pps}")
+        self.pps = pps
+
+    def tick(self, now: float, dt: float) -> None:
+        if not self.active(now):
+            self.current_pps = 0.0
+            self._carry = 0.0
+            return
+        self._carry += self.pps * dt
+        to_send = int(self._carry)
+        self._carry -= to_send
+        sent = 0
+        for _ in range(to_send):
+            key = next(self._iter, None)
+            if key is None:
+                break
+            self.host.inject_attack(key, now)
+            sent += 1
+        self.packets_sent += sent
+        self.current_pps = sent / dt if dt else 0.0
+
+
+class RandomFloodSource(AttackSource):
+    """General-TSE flood: every packet a fresh random flow.
+
+    Unlike a looped trace replay (whose packets hit existing megaflows
+    after the first pass), sustained random traffic keeps spawning new
+    megaflow *entries* under the deep masks, so a large share of packets
+    upcall forever — the escalation that produces the full denial of
+    service at 2 kpps in Fig. 8c.
+    """
+
+    def __init__(
+        self,
+        host: HypervisorHost,
+        generator: GeneralTraceGenerator,
+        pps: float,
+        windows: Sequence[ActiveWindow] = (),
+        name: str = "random-flood",
+    ):
+        self._generator = generator
+
+        def stream() -> Iterator[FlowKey]:
+            while True:
+                yield from generator.keys(1024)
+
+        super().__init__(
+            host, keys=(), pps=pps, windows=windows, name=name, key_stream=stream()
+        )
+
+
+class VictimFlow:
+    """An iperf-like victim session.
+
+    Args:
+        host: the hypervisor carrying the flow.
+        name: flow label (metrics key).
+        keys: flow keys the victim's packets carry (forward plus optional
+            reverse direction) — sent as keepalives each tick.
+        offered_gbps: the sender's offered load.
+        kind: ``"tcp"`` (ramping, drop-sensitive) or ``"udp"`` (CBR).
+        windows: activity intervals.
+        ramp_tau: TCP exponential-ramp time constant (seconds).
+    """
+
+    def __init__(
+        self,
+        host: HypervisorHost,
+        name: str,
+        keys: Sequence[FlowKey],
+        offered_gbps: float,
+        kind: str = "tcp",
+        windows: Sequence[ActiveWindow] = (),
+        ramp_tau: float = 2.0,
+    ):
+        if kind not in ("tcp", "udp"):
+            raise SimulationError(f"unknown flow kind {kind!r}")
+        if offered_gbps <= 0:
+            raise SimulationError("offered_gbps must be positive")
+        self.host = host
+        self.name = name
+        self.kind = kind
+        self.offered_gbps = offered_gbps
+        self.windows = tuple(windows)
+        self.ramp_tau = ramp_tau
+        self.rate_gbps = 0.0
+        self._was_active = False
+        host.register_victim(name, tuple(keys))
+
+    def active(self, now: float) -> bool:
+        if not self.windows:
+            return True
+        return any(window.contains(now) for window in self.windows)
+
+    def tick(self, now: float, dt: float) -> None:
+        active = self.active(now)
+        if active and not self._was_active:
+            self.host.victim_started(self.name, now)
+        elif not active and self._was_active:
+            self.host.victim_stopped(self.name)
+            self.rate_gbps = 0.0
+        self._was_active = active
+        if not active:
+            return
+        self.host.keepalive(self.name, now)
+
+    def settle(self, now: float, dt: float) -> None:
+        """Update the achieved rate from the host's capacity assignment.
+
+        Must run *after* the host's tick.  TCP converges exponentially
+        upward (slow-start/congestion-avoidance abstraction) and collapses
+        quickly when capacity disappears; UDP tracks capacity instantly.
+        """
+        if not self._was_active:
+            return
+        capacity = min(self.offered_gbps, self.host.victim_rate(self.name))
+        if self.kind == "udp":
+            self.rate_gbps = capacity
+            return
+        if capacity < self.rate_gbps:
+            # Multiplicative decrease dominates: near-immediate collapse.
+            self.rate_gbps = capacity
+        else:
+            alpha = min(1.0, dt / self.ramp_tau)
+            self.rate_gbps += (capacity - self.rate_gbps) * alpha

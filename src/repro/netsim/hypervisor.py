@@ -1,0 +1,226 @@
+"""The hypervisor switch host: datapath + CPU accounting + victim rates.
+
+This is the component that turns classification *work* into the throughput
+time series of Fig. 8.  Each tick it:
+
+1. receives the attack packets the sources injected (real classifications
+   through the simulated datapath — megaflows and masks are genuine);
+2. runs the revalidator (10 s idle eviction) and, optionally, MFCGuard;
+3. converts the tick's work into CPU units: attack fast-path cost, upcall
+   cost, revalidation cost;
+4. divides the remaining budget among the active victim flows, each paying
+   its per-unit classification cost (the calibrated mask-count curve, or
+   the cheap mask-memo path for protected established flows).
+
+The victim traffic itself is *not* simulated packet-by-packet (hundreds of
+thousands of pps); a few keepalive packets per tick keep the victims' cache
+entries genuine while their rate is computed analytically — the hybrid the
+DESIGN.md substitution table documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.classifier.tss import MegaflowEntry
+from repro.core.mitigation import MFCGuard
+from repro.exceptions import SimulationError
+from repro.packet.fields import FlowKey
+from repro.switch.costmodel import CostModel
+from repro.switch.datapath import Datapath, PacketVerdict, PathTaken
+from repro.switch.revalidator import Revalidator
+
+__all__ = ["QuirkConfig", "VictimState", "HypervisorHost"]
+
+
+@dataclass(frozen=True)
+class QuirkConfig:
+    """Environment-specific behavioural quirks.
+
+    Attributes:
+        established_flow_protection: model the kernel mask-memo effect that
+            shields long-lived flows from the mask scan (the OpenStack
+            §5.5 observation).  A flow is *protected* once it has been
+            continuously active for ``establish_seconds`` while the mask
+            count was at or below ``establish_mask_ceiling``.
+        establish_seconds: how long a flow must run under a calm cache to
+            earn its memo.
+        establish_mask_ceiling: "calm" means at most this many masks.
+        collision_rate: fraction of a protected flow's packets that still
+            miss the memo (slot collisions with attack flows) and pay the
+            full scan — produces the ~10%% dip on re-attack.
+    """
+
+    established_flow_protection: bool = False
+    establish_seconds: float = 5.0
+    establish_mask_ceiling: int = 32
+    collision_rate: float = 0.005
+
+
+@dataclass
+class VictimState:
+    """Bookkeeping for one victim flow attached to this host."""
+
+    name: str
+    keys: tuple[FlowKey, ...]
+    active: bool = False
+    active_since: float | None = None
+    calm_since: float | None = None
+    protected: bool = False
+    assigned_gbps: float = 0.0
+    unit_cost: float = 1.0
+
+
+class HypervisorHost:
+    """One hypervisor's switch, shared by every co-located workload.
+
+    Args:
+        datapath: the simulated OVS datapath.
+        cost_model: calibrated cost/throughput model for this environment.
+        quirks: environment-specific behaviours.
+        guard: optional MFCGuard instance (mitigation experiments).
+        revalidator_period: seconds between idle-eviction sweeps.
+    """
+
+    def __init__(
+        self,
+        datapath: Datapath,
+        cost_model: CostModel,
+        quirks: QuirkConfig | None = None,
+        guard: MFCGuard | None = None,
+        revalidator_period: float = 1.0,
+    ):
+        self.datapath = datapath
+        self.cost_model = cost_model
+        self.quirks = quirks or QuirkConfig()
+        self.guard = guard
+        self.revalidator = Revalidator(datapath, period=revalidator_period)
+        self.victims: dict[str, VictimState] = {}
+        # Per-tick work accumulators (reset each tick).
+        self._attack_units = 0.0
+        self._upcalls = 0
+        self._slow_path_packets = 0
+        self._revalidated_entries = 0
+        # Last-settled outputs, for observers.
+        self.upcall_pps = 0.0
+        self.cpu_load_fraction = 0.0
+
+    # -- wiring ---------------------------------------------------------------
+    def register_victim(self, name: str, keys: tuple[FlowKey, ...]) -> VictimState:
+        """Attach a victim flow (its keepalive keys) to this host."""
+        if name in self.victims:
+            raise SimulationError(f"victim {name!r} already registered")
+        state = VictimState(name=name, keys=keys)
+        self.victims[name] = state
+        return state
+
+    # -- ingress from traffic sources ---------------------------------------------
+    def inject_attack(self, key: FlowKey, now: float) -> PacketVerdict:
+        """Classify one attack packet; account its cost."""
+        masks_before = self.datapath.n_masks
+        verdict = self.datapath.process(key, now=now)
+        upcall = verdict.is_upcall
+        if verdict.path is PathTaken.MASK_CACHE:
+            cost = 1.0  # single-table probe
+        else:
+            cost = self.cost_model.attack_cost_units(max(masks_before, 1), upcall=upcall)
+        self._attack_units += cost
+        if upcall:
+            self._upcalls += 1
+            self._slow_path_packets += 1
+        return verdict
+
+    def keepalive(self, name: str, now: float) -> list[PacketVerdict]:
+        """Send a victim's keepalive packets (keeps cache entries genuine)."""
+        state = self._state(name)
+        return [self.datapath.process(key, now=now) for key in state.keys]
+
+    def victim_started(self, name: str, now: float) -> None:
+        state = self._state(name)
+        state.active = True
+        state.active_since = now
+        state.calm_since = None
+        state.protected = False
+
+    def victim_stopped(self, name: str) -> None:
+        state = self._state(name)
+        state.active = False
+        state.active_since = None
+        state.calm_since = None
+        state.protected = False
+        state.assigned_gbps = 0.0
+
+    def _state(self, name: str) -> VictimState:
+        try:
+            return self.victims[name]
+        except KeyError:
+            raise SimulationError(f"unknown victim {name!r}") from None
+
+    # -- the per-tick settlement -----------------------------------------------------
+    def tick(self, now: float, dt: float) -> None:
+        """Run maintenance, settle CPU accounting, assign victim capacity."""
+        evicted = self.revalidator.tick(now)
+        self._revalidated_entries += len(evicted)
+        if self.guard is not None:
+            self.guard.tick(now)
+            # Traffic demoted to the slow path by the guard is observable
+            # as this tick's suppressed-installs; feed the measured rate.
+            self.guard.note_attack_rate(self._slow_path_packets / dt)
+
+        masks = max(self.datapath.n_masks, 1)
+        budget = self.cost_model.budget_units_per_sec
+
+        # Work burned by non-victim activity, as rates (units/second).
+        attack_rate_units = self._attack_units / dt
+        reval_rate_units = self.cost_model.revalidation_units_per_sec(
+            self.datapath.n_megaflows, self.revalidator.period
+        )
+        consumed = attack_rate_units + reval_rate_units
+        self.cpu_load_fraction = min(1.0, consumed / budget) if budget else 1.0
+        available = max(0.0, budget - consumed)
+
+        # Victim unit costs (protection quirk).
+        active = [state for state in self.victims.values() if state.active]
+        for state in active:
+            self._update_protection(state, now, masks)
+            if state.protected:
+                scan_cost = self.cost_model.victim_cost_units(masks)
+                cheap = 1.0
+                chi = self.quirks.collision_rate
+                state.unit_cost = (1.0 - chi) * cheap + chi * scan_cost
+            else:
+                state.unit_cost = self.cost_model.victim_cost_units(masks)
+
+        # Equal split of the remaining budget across active victims.
+        if active:
+            share = available / len(active)
+            for state in active:
+                units_per_sec = share / state.unit_cost
+                gbps = units_per_sec * self.cost_model.unit_bits / 1e9
+                state.assigned_gbps = min(self.cost_model.link_gbps / len(active), gbps)
+
+        self.upcall_pps = self._upcalls / dt
+        self._attack_units = 0.0
+        self._upcalls = 0
+        self._slow_path_packets = 0
+
+    def _update_protection(self, state: VictimState, now: float, masks: int) -> None:
+        if not self.quirks.established_flow_protection:
+            state.protected = False
+            return
+        if masks <= self.quirks.establish_mask_ceiling:
+            if state.calm_since is None:
+                state.calm_since = now
+            if now - state.calm_since >= self.quirks.establish_seconds:
+                state.protected = True  # memo earned; retained until flow stops
+        else:
+            state.calm_since = None
+
+    # -- queries ---------------------------------------------------------------------
+    def victim_rate(self, name: str) -> float:
+        """The capacity (Gbps) assigned to a victim at the last settlement."""
+        return self._state(name).assigned_gbps
+
+    def evict_entry(self, entry: MegaflowEntry) -> None:
+        """Convenience passthrough for tests."""
+        self.datapath.kill_entry(entry, permanent=False)

@@ -1,0 +1,231 @@
+"""Layered packets: header stacks, wire serialization, flow-key extraction.
+
+A :class:`Packet` is an ordered stack of header objects (from
+:mod:`repro.packet.headers`) plus an opaque payload.  It can be serialized to
+wire bytes (with checksums), parsed back from bytes, and reduced to the
+:class:`~repro.packet.fields.FlowKey` the classifiers operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.exceptions import PacketError
+from repro.packet.fields import FlowKey
+from repro.packet.headers import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    ICMP,
+    IPv4,
+    IPv6,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP,
+    UDP,
+    Ethernet,
+    _pseudo_header_v4,
+    _pseudo_header_v6,
+)
+
+__all__ = ["Packet", "parse_packet"]
+
+Header = Ethernet | IPv4 | IPv6 | TCP | UDP | ICMP
+
+
+@dataclass
+class Packet:
+    """An ordered header stack plus payload.
+
+    Layers must be given outermost-first (Ethernet, then IP, then L4); the
+    constructor validates the ordering so a malformed stack fails fast
+    rather than producing bytes no parser would accept.
+    """
+
+    layers: list[Header] = dc_field(default_factory=list)
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        self._validate_stack()
+
+    def _validate_stack(self) -> None:
+        allowed_next = {
+            Ethernet: (IPv4, IPv6),
+            IPv4: (TCP, UDP, ICMP),
+            IPv6: (TCP, UDP, ICMP),
+            TCP: (),
+            UDP: (),
+            ICMP: (),
+        }
+        previous: type | None = None
+        for layer in self.layers:
+            if type(layer) not in allowed_next:
+                raise PacketError(f"unsupported layer type {type(layer).__name__}")
+            if previous is not None and type(layer) not in allowed_next[previous]:
+                raise PacketError(
+                    f"{type(layer).__name__} cannot follow {previous.__name__}"
+                )
+            previous = type(layer)
+
+    # -- layer access ---------------------------------------------------------
+    def layer(self, layer_type: type) -> Header | None:
+        """The first layer of the given type, or ``None``."""
+        for layer in self.layers:
+            if isinstance(layer, layer_type):
+                return layer
+        return None
+
+    @property
+    def eth(self) -> Ethernet | None:
+        return self.layer(Ethernet)  # type: ignore[return-value]
+
+    @property
+    def ip(self) -> IPv4 | None:
+        return self.layer(IPv4)  # type: ignore[return-value]
+
+    @property
+    def ip6(self) -> IPv6 | None:
+        return self.layer(IPv6)  # type: ignore[return-value]
+
+    @property
+    def tcp(self) -> TCP | None:
+        return self.layer(TCP)  # type: ignore[return-value]
+
+    @property
+    def udp(self) -> UDP | None:
+        return self.layer(UDP)  # type: ignore[return-value]
+
+    @property
+    def icmp(self) -> ICMP | None:
+        return self.layer(ICMP)  # type: ignore[return-value]
+
+    # -- serialization --------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to wire bytes, filling lengths and checksums."""
+        # Serialize innermost-first so outer layers know payload lengths.
+        data = self.payload
+        ip_layer = self.ip or self.ip6
+        for layer in reversed(self.layers):
+            if isinstance(layer, TCP):
+                pseudo = self._pseudo_header(ip_layer, PROTO_TCP, TCP.HEADER_LEN + len(data))
+                data = layer.pack(payload=data, pseudo_header=pseudo) + data
+            elif isinstance(layer, UDP):
+                pseudo = self._pseudo_header(ip_layer, PROTO_UDP, UDP.HEADER_LEN + len(data))
+                data = layer.pack(payload=data, pseudo_header=pseudo) + data
+            elif isinstance(layer, ICMP):
+                data = layer.pack(payload=data) + data
+            elif isinstance(layer, (IPv4, IPv6)):
+                data = layer.pack(payload_len=len(data)) + data
+            elif isinstance(layer, Ethernet):
+                data = layer.pack() + data
+        return data
+
+    @staticmethod
+    def _pseudo_header(ip_layer: IPv4 | IPv6 | None, proto: int, length: int) -> bytes | None:
+        if isinstance(ip_layer, IPv4):
+            return _pseudo_header_v4(ip_layer.src, ip_layer.dst, proto, length)
+        if isinstance(ip_layer, IPv6):
+            return _pseudo_header_v6(ip_layer.src, ip_layer.dst, proto, length)
+        return None
+
+    def wire_length(self) -> int:
+        """Total serialized length in bytes."""
+        length = len(self.payload)
+        for layer in self.layers:
+            length += layer.HEADER_LEN
+        return length
+
+    # -- classification -------------------------------------------------------
+    def flow_key(self, in_port: int = 0) -> FlowKey:
+        """Extract the flow key the classifiers match on.
+
+        Mirrors OVS flow extraction: zero-fill fields of absent layers and
+        take L4 ports from TCP/UDP (ICMP type/code are mapped onto the port
+        fields, as OVS does).
+        """
+        kwargs: dict[str, int] = {"in_port": in_port}
+        eth = self.eth
+        if eth is not None:
+            kwargs["eth_src"] = eth.src
+            kwargs["eth_dst"] = eth.dst
+            kwargs["eth_type"] = eth.ethertype
+        ip4 = self.ip
+        ip6 = self.ip6
+        if ip4 is not None:
+            kwargs["ip_src"] = ip4.src
+            kwargs["ip_dst"] = ip4.dst
+            kwargs["ip_proto"] = ip4.proto
+            kwargs["ip_ttl"] = ip4.ttl
+            kwargs["ip_tos"] = ip4.tos
+            kwargs.setdefault("eth_type", ETHERTYPE_IPV4)
+        elif ip6 is not None:
+            kwargs["ipv6_src"] = ip6.src
+            kwargs["ipv6_dst"] = ip6.dst
+            kwargs["ip_proto"] = ip6.next_header
+            kwargs["ip_ttl"] = ip6.hop_limit
+            kwargs["ip_tos"] = ip6.traffic_class
+            kwargs.setdefault("eth_type", ETHERTYPE_IPV6)
+        tcp = self.tcp
+        udp = self.udp
+        icmp = self.icmp
+        if tcp is not None:
+            kwargs["tp_src"] = tcp.src_port
+            kwargs["tp_dst"] = tcp.dst_port
+        elif udp is not None:
+            kwargs["tp_src"] = udp.src_port
+            kwargs["tp_dst"] = udp.dst_port
+        elif icmp is not None:
+            kwargs["tp_src"] = icmp.icmp_type
+            kwargs["tp_dst"] = icmp.code
+        return FlowKey(**kwargs)
+
+    def __repr__(self) -> str:
+        names = "/".join(type(layer).__name__ for layer in self.layers)
+        return f"Packet({names}, payload={len(self.payload)}B)"
+
+
+def parse_packet(data: bytes, link_layer: bool = True) -> Packet:
+    """Parse wire bytes into a :class:`Packet`.
+
+    Args:
+        data: raw bytes.
+        link_layer: when True, expect an Ethernet header first; otherwise
+            start at the IP layer (pcap files written with a RAW linktype).
+    """
+    layers: list[Header] = []
+    rest = data
+    next_proto: int | None = None
+
+    if link_layer:
+        eth, rest = Ethernet.unpack(rest)
+        layers.append(eth)
+        ethertype = eth.ethertype
+    else:
+        if not rest:
+            raise PacketError("empty packet")
+        version = rest[0] >> 4
+        ethertype = ETHERTYPE_IPV4 if version == 4 else ETHERTYPE_IPV6
+
+    if ethertype == ETHERTYPE_IPV4:
+        ip4, rest = IPv4.unpack(rest)
+        layers.append(ip4)
+        next_proto = ip4.proto
+    elif ethertype == ETHERTYPE_IPV6:
+        ip6, rest = IPv6.unpack(rest)
+        layers.append(ip6)
+        next_proto = ip6.next_header
+    else:
+        # Unknown L3: keep remaining bytes as payload.
+        return Packet(layers=layers, payload=rest)
+
+    if next_proto == PROTO_TCP:
+        tcp, rest = TCP.unpack(rest)
+        layers.append(tcp)
+    elif next_proto == PROTO_UDP:
+        udp, rest = UDP.unpack(rest)
+        layers.append(udp)
+    elif next_proto == PROTO_ICMP:
+        icmp, rest = ICMP.unpack(rest)
+        layers.append(icmp)
+
+    return Packet(layers=layers, payload=rest)

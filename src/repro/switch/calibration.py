@@ -1,0 +1,110 @@
+"""Least-squares calibration of the cost curves to the paper's anchors.
+
+We cannot measure the authors' Xeon/X710/CX-4 testbed, so the absolute
+cycles-per-lookup constants are fitted: for each NIC profile the relative
+throughput is modelled as
+
+    fraction(M) = min(1, 1 / (a + s*[M > 1] + b * M**gamma))
+
+where ``M`` is the number of megaflow-cache masks.  The terms have a
+mechanistic reading:
+
+* ``a`` — mask-independent per-unit cost (I/O, parsing, a microflow hit);
+* ``s`` — the *microflow-thrash step*: at baseline the victim's packets hit
+  the exact-match cache, but any attack traffic (with its randomized noise
+  fields, §5.2) exhausts it, demoting the victim to the megaflow path.
+  This one-off penalty explains the steep first drop the paper reports
+  (53% of baseline at just 17 masks);
+* ``b * M**gamma`` — the TSS linear mask scan, with a mild super-linearity
+  (``gamma`` ≈ 1.0–1.3) capturing CPU-cache misses at thousands of masks.
+
+Parameters are fitted in log space to the anchor points each profile
+carries (:mod:`repro.switch.offload`), so relative errors stay balanced
+across four orders of magnitude.  The fit is deterministic, cheap, and
+cached per profile; EXPERIMENTS.md reports fitted-vs-paper values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.exceptions import SwitchError
+from repro.switch.offload import NicProfile
+
+__all__ = ["CurveParams", "fit_profile", "fraction_of_baseline"]
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Fitted parameters of ``fraction(M) = min(1, 1/(a + s·[M>1] + b·M^γ))``."""
+
+    a: float
+    s: float
+    b: float
+    gamma: float
+
+    def relative_cost(self, masks: float) -> float:
+        """Per-unit classification cost, normalised to cost(1 mask) = 1."""
+        if masks < 0:
+            raise SwitchError(f"mask count must be >= 0, got {masks}")
+        masks = max(masks, 1.0)  # an empty MFC behaves like a single mask
+        step = self.s if masks > 1 else 0.0
+        return (self.a + step + self.b * masks**self.gamma) / (self.a + self.b)
+
+    def fraction(self, masks: float) -> float:
+        """Fraction of baseline throughput at ``masks`` MFC masks."""
+        masks = max(masks, 1.0) if masks >= 0 else _raise_negative(masks)
+        step = self.s if masks > 1 else 0.0
+        return min(1.0, 1.0 / (self.a + step + self.b * masks**self.gamma))
+
+
+def _raise_negative(masks: float) -> float:
+    raise SwitchError(f"mask count must be >= 0, got {masks}")
+
+
+def _fit(anchor_masks: tuple[int, ...], anchor_fractions: tuple[float, ...]) -> CurveParams:
+    masks = np.asarray(anchor_masks, dtype=float)
+    targets = np.asarray(anchor_fractions, dtype=float)
+    step_active = (masks > 1).astype(float)
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        a, s, b, gamma = params
+        pred = np.minimum(1.0, 1.0 / (a + s * step_active + b * masks**gamma))
+        return np.log(pred) - np.log(targets)
+
+    result = least_squares(
+        residuals,
+        x0=np.array([0.9, 0.3, 0.05, 1.1]),
+        # gamma may go well below 1: software-offload units (GRO buffers)
+        # amortise the scan over large copies, flattening the curve.
+        bounds=(np.array([1e-9, 0.0, 1e-9, 0.4]), np.array([10.0, 5.0, 10.0, 2.0])),
+        xtol=1e-12,
+        ftol=1e-12,
+    )
+    if not result.success:
+        raise SwitchError(f"cost-curve fit failed: {result.message}")
+    a, s, b, gamma = result.x
+    return CurveParams(a=float(a), s=float(s), b=float(b), gamma=float(gamma))
+
+
+@lru_cache(maxsize=None)
+def _fit_cached(anchor_items: tuple[tuple[int, float], ...]) -> CurveParams:
+    masks, fractions = zip(*anchor_items)
+    return _fit(masks, fractions)
+
+
+def fit_profile(profile: NicProfile) -> CurveParams:
+    """Fit (and cache) the cost curve for ``profile`` from its anchors."""
+    if not profile.anchors:
+        raise SwitchError(f"{profile.name}: profile has no anchors to fit")
+    items = tuple(sorted(profile.anchors.items()))
+    return _fit_cached(items)
+
+
+def fraction_of_baseline(profile: NicProfile, masks: float) -> float:
+    """Fraction of ``profile``'s baseline throughput at ``masks`` masks."""
+    return fit_profile(profile).fraction(masks)

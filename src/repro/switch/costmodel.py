@@ -1,0 +1,173 @@
+"""Cycle-accounting model: classification work → throughput and CPU load.
+
+The simulator measures *work* (masks inspected, upcalls taken) exactly; this
+module converts that work into the quantities the paper plots — victim Gbps,
+flow completion time, and slow-path CPU% — using the calibrated curves of
+:mod:`repro.switch.calibration`.
+
+Unit convention: **1 unit = the cost of classifying one baseline packet at a
+single-mask MFC** for the given profile.  The fast path has a budget of
+``baseline_pps`` units per second (that is what makes the baseline rate the
+baseline); every packet then costs its *relative cost* in units, so CPU
+contention between victim and attack traffic falls out of simple unit
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SwitchError
+from repro.switch.calibration import CurveParams, fit_profile
+from repro.switch.offload import GRO_OFF_TCP, NicProfile
+
+__all__ = ["CostModel", "SlowPathModel"]
+
+
+@dataclass(frozen=True)
+class SlowPathModel:
+    """CPU usage of the slow-path daemon (``ovs-vswitchd``), Fig. 9c.
+
+    The paper measures ~15% CPU for attack rates up to 1 kpps (revalidation
+    and bookkeeping dominate), ~80% at 10 kpps, and saturation around 250%
+    (multiple handler threads) — we fit a clamped affine model through those
+    anchors.
+    """
+
+    base_cpu_pct: float = 15.0
+    free_pps: float = 1000.0
+    pct_per_pps: float = (80.0 - 15.0) / (10_000.0 - 1_000.0)
+    max_cpu_pct: float = 250.0
+
+    def cpu_pct(self, upcall_pps: float) -> float:
+        """Slow-path CPU percentage at ``upcall_pps`` packets/s of upcalls."""
+        if upcall_pps < 0:
+            raise SwitchError(f"upcall_pps must be >= 0, got {upcall_pps}")
+        load = self.base_cpu_pct + self.pct_per_pps * max(0.0, upcall_pps - self.free_pps)
+        return min(self.max_cpu_pct, load)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Throughput/CPU model for one switch deployment.
+
+    Attributes:
+        profile: NIC/driver profile (fit anchors + baseline rate).
+        link_gbps: wire capacity in front of the switch; the victim can
+            never exceed it even with CPU to spare (Fig. 8c's 1 Gbps virtio
+            link is the binding constraint before the ACL is injected).
+        cpu_baseline_gbps: classification capacity at one mask.  Defaults
+            to the profile baseline (CPU-bound testbeds); set lower than
+            ``link_gbps``…``None`` to model weaker hosts.
+        upcall_units: slow-path cost of one upcall, in fast-path units.
+            OVS upcalls cross into userspace and run the full ordered
+            lookup — orders of magnitude above a fast-path probe.
+        attack_cost_scale: ratio of an attack packet's classification cost
+            to a victim *unit*'s.  1.0 when both are MTU frames; smaller
+            when victim units are GRO-aggregated buffers (an MTU-sized
+            attack packet costs a fraction of a 64 kB buffer's
+            classify-and-copy — the Kubernetes/virtio testbed model).
+        revalidate_units_per_entry: per-megaflow revalidation cost charged
+            against the fast-path budget each sweep (dump + re-lookup).
+    """
+
+    profile: NicProfile = GRO_OFF_TCP
+    link_gbps: float = 10.0
+    cpu_baseline_gbps: float | None = None
+    upcall_units: float = 25.0
+    attack_cost_scale: float = 1.0
+    revalidate_units_per_entry: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.link_gbps <= 0:
+            raise SwitchError("link_gbps must be positive")
+        if self.cpu_baseline_gbps is not None and self.cpu_baseline_gbps <= 0:
+            raise SwitchError("cpu_baseline_gbps must be positive")
+        if self.upcall_units < 0:
+            raise SwitchError("upcall_units must be >= 0")
+        if self.attack_cost_scale <= 0:
+            raise SwitchError("attack_cost_scale must be positive")
+        if self.revalidate_units_per_entry < 0:
+            raise SwitchError("revalidate_units_per_entry must be >= 0")
+
+    # -- derived constants -------------------------------------------------------
+    @property
+    def params(self) -> CurveParams:
+        """The calibrated cost curve of the profile."""
+        return fit_profile(self.profile)
+
+    @property
+    def baseline_gbps(self) -> float:
+        """CPU-side classification capacity (Gbps at one mask)."""
+        if self.cpu_baseline_gbps is not None:
+            return self.cpu_baseline_gbps
+        return self.profile.baseline_gbps
+
+    @property
+    def budget_units_per_sec(self) -> float:
+        """Fast-path budget: units available per second."""
+        return self.baseline_gbps * 1e9 / 8.0 / self.profile.unit_bytes
+
+    @property
+    def unit_bits(self) -> float:
+        """Bits moved per classified unit (MTU frame or GRO buffer)."""
+        return self.profile.unit_bytes * 8.0
+
+    # -- per-packet costs ----------------------------------------------------------
+    def victim_cost_units(self, masks: int) -> float:
+        """Average per-unit cost of an *established* victim flow.
+
+        The calibrated relative-cost curve already embeds the victim's
+        average hit position in the mask scan (≈ masks/2, which is why the
+        paper sees flow completion time grow "half as high" as the mask
+        count) and the microflow-thrash step.
+        """
+        return self.params.relative_cost(masks)
+
+    def attack_cost_units(self, masks: int, upcall: bool) -> float:
+        """Per-packet cost of an attack packet.
+
+        Attack packets either hit their adversarial megaflow (full-scan-like
+        cost — their masks sit all along the list) or miss and additionally
+        pay the slow-path upcall.
+        """
+        cost = self.attack_cost_scale * self.params.relative_cost(masks)
+        if upcall:
+            cost += self.upcall_units
+        return cost
+
+    def revalidation_units_per_sec(self, n_entries: int, period: float) -> float:
+        """Fast-path budget burned by revalidating ``n_entries`` per sweep."""
+        if period <= 0:
+            raise SwitchError("period must be positive")
+        return n_entries * self.revalidate_units_per_entry / period
+
+    # -- throughput ---------------------------------------------------------------
+    def victim_gbps(self, masks: int, attack_load_units: float = 0.0) -> float:
+        """Victim throughput at ``masks`` MFC masks under attack load.
+
+        ``attack_load_units`` is the unit rate (units/s) the attack traffic
+        burns; whatever budget remains is available to the victim at its
+        per-unit cost, clamped by the wire.
+        """
+        if attack_load_units < 0:
+            raise SwitchError("attack_load_units must be >= 0")
+        available = max(0.0, self.budget_units_per_sec - attack_load_units)
+        units_per_sec = available / self.victim_cost_units(masks)
+        return min(self.link_gbps, units_per_sec * self.unit_bits / 1e9)
+
+    def victim_fraction(self, masks: int) -> float:
+        """Fraction of baseline throughput (no attack CPU contention)."""
+        return self.params.fraction(masks)
+
+    def flow_completion_seconds(self, gigabytes: float, masks: int) -> float:
+        """Time to move ``gigabytes`` of victim data at ``masks`` masks.
+
+        Reproduces the secondary axis of Fig. 9a (1 GB TCP, GRO OFF).
+        """
+        if gigabytes <= 0:
+            raise SwitchError("gigabytes must be positive")
+        gbps = self.victim_gbps(masks)
+        if gbps <= 0:
+            raise SwitchError("victim rate is zero; completion time undefined")
+        return gigabytes * 8.0 / gbps

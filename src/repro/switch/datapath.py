@@ -1,0 +1,285 @@
+"""The simulated OVS datapath: fast path / slow path pipeline (Fig. 10).
+
+A packet entering the switch traverses, in order:
+
+1. the **microflow cache** — exact match on all fields (short-term memory);
+2. optionally the **kernel mask cache** — a memo of which megaflow mask
+   matched this flow last time (one hash probe instead of a scan);
+3. the **megaflow cache** — Tuple Space Search over the mask list;
+4. the **slow path** — an upcall running the full ordered flow-table
+   lookup, which generates and installs a new megaflow entry.
+
+The datapath reports, for every packet, which level answered and how much
+work the lookup did; the cost model and network simulator turn that into
+throughput.  It also owns the behavioural quirks the paper depends on:
+
+* caches are flushed when the flow table changes (revalidation) — how the
+  attacker's mid-run ACL injection detonates in Fig. 8c;
+* megaflow entries deleted by :class:`~repro.core.mitigation.MFCGuard` are
+  never re-installed ("once an MFC entry is deleted it will never be
+  sparked again", §8) — matching packets stay on the slow path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.classifier.actions import Action
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.microflow import MicroflowCache
+from repro.classifier.slowpath import OVS_DEFAULT, MegaflowGenerator, StrategyConfig
+from repro.classifier.tss import MegaflowEntry, TupleSpaceSearch
+from repro.exceptions import SwitchError
+from repro.packet.fields import FlowKey, FlowMask
+from repro.packet.packet import Packet
+from repro.switch.maskcache import KernelMaskCache
+
+__all__ = ["PathTaken", "PacketVerdict", "DatapathConfig", "Datapath"]
+
+
+class PathTaken(enum.Enum):
+    """Which pipeline level decided the packet's fate."""
+
+    MICROFLOW = "microflow"
+    MASK_CACHE = "mask_cache"
+    MEGAFLOW = "megaflow"
+    SLOW_PATH = "slow_path"
+
+
+@dataclass(frozen=True)
+class PacketVerdict:
+    """Per-packet processing report.
+
+    Attributes:
+        action: the final decision.
+        path: pipeline level that answered.
+        masks_inspected: TSS mask tables probed (0 for microflow hits).
+        rules_examined: flow-table rules visited (slow path only).
+        installed: megaflow entry installed by this packet, if any.
+    """
+
+    action: Action
+    path: PathTaken
+    masks_inspected: int = 0
+    rules_examined: int = 0
+    installed: MegaflowEntry | None = None
+
+    @property
+    def is_upcall(self) -> bool:
+        return self.path is PathTaken.SLOW_PATH
+
+
+@dataclass(frozen=True)
+class DatapathConfig:
+    """Tunable behaviour of the simulated datapath.
+
+    Attributes:
+        microflow_capacity: entries in the exact-match cache (0 disables).
+        enable_mask_cache: kernel mask memo (OpenStack quirk, §5.5).
+        mask_cache_size: slots in the mask memo.
+        strategy: megaflow generation strategy (see
+            :mod:`repro.classifier.slowpath`).
+        max_megaflows: OVS-style flow limit; upcalls stop installing new
+            entries (but still classify) once reached.
+        idle_timeout: seconds of inactivity before the revalidator may
+            evict an entry (the paper's 10 s).
+        check_invariants: verify Inv(2) on every install (tests).
+    """
+
+    microflow_capacity: int = 256
+    enable_mask_cache: bool = False
+    mask_cache_size: int = 256
+    strategy: StrategyConfig = OVS_DEFAULT
+    max_megaflows: int = 200_000
+    idle_timeout: float = 10.0
+    check_invariants: bool = False
+
+
+@dataclass
+class DatapathStats:
+    """Aggregate counters, reset with :meth:`Datapath.reset_stats`."""
+
+    packets: int = 0
+    microflow_hits: int = 0
+    mask_cache_hits: int = 0
+    megaflow_hits: int = 0
+    upcalls: int = 0
+    installs: int = 0
+    install_rejected: int = 0
+    dead_entry_suppressed: int = 0
+    flushes: int = 0
+    masks_inspected_total: int = 0
+
+
+class Datapath:
+    """The simulated software switch datapath.
+
+    Args:
+        flow_table: the slow-path classifier (subscribed for cache flushes).
+        config: behaviour knobs.
+    """
+
+    def __init__(self, flow_table: FlowTable, config: DatapathConfig | None = None):
+        self.config = config or DatapathConfig()
+        self.flow_table = flow_table
+        self.megaflows = TupleSpaceSearch(check_invariants=self.config.check_invariants)
+        self.microflows: MicroflowCache | None = (
+            MicroflowCache(self.config.microflow_capacity)
+            if self.config.microflow_capacity > 0
+            else None
+        )
+        self.mask_cache: KernelMaskCache | None = (
+            KernelMaskCache(self.config.mask_cache_size)
+            if self.config.enable_mask_cache
+            else None
+        )
+        self.generator = MegaflowGenerator(flow_table, self.config.strategy)
+        self._dead_entries: set[tuple[FlowMask, tuple[int, ...]]] = set()
+        self.stats = DatapathStats()
+        self.now = 0.0
+        flow_table.subscribe(self.flush_caches)
+
+    # -- cache sizes --------------------------------------------------------------
+    @property
+    def n_masks(self) -> int:
+        """Current megaflow mask count — the attack's figure of merit."""
+        return self.megaflows.n_masks
+
+    @property
+    def n_megaflows(self) -> int:
+        """Current megaflow entry count."""
+        return self.megaflows.n_entries
+
+    # -- packet processing ----------------------------------------------------------
+    def process(self, key: FlowKey, now: float | None = None) -> PacketVerdict:
+        """Classify one packet (by flow key) through the full pipeline."""
+        if now is not None:
+            if now < self.now:
+                raise SwitchError(f"time went backwards: {now} < {self.now}")
+            self.now = now
+        self.stats.packets += 1
+
+        # Level 1: microflow exact-match cache.
+        if self.microflows is not None:
+            entry = self.microflows.lookup(key)
+            if entry is not None:
+                if self.megaflows.find_entry(entry):
+                    entry.hits += 1
+                    entry.last_used = self.now
+                    self.stats.microflow_hits += 1
+                    return PacketVerdict(action=entry.action, path=PathTaken.MICROFLOW)
+                self.microflows.invalidate(entry)  # stale pointer
+
+        # Level 2: kernel mask cache (single-table probe).
+        if self.mask_cache is not None:
+            hinted = self.mask_cache.probe(key)
+            if hinted is not None:
+                entry = self.megaflows.probe_mask(hinted, key, now=self.now)
+                if entry is not None:
+                    self.stats.mask_cache_hits += 1
+                    self.stats.masks_inspected_total += 1
+                    self._remember(key, entry)
+                    return PacketVerdict(
+                        action=entry.action, path=PathTaken.MASK_CACHE, masks_inspected=1
+                    )
+
+        # Level 3: megaflow cache (TSS linear scan).
+        result = self.megaflows.lookup(key, now=self.now)
+        self.stats.masks_inspected_total += result.masks_inspected
+        if result.entry is not None:
+            self.stats.megaflow_hits += 1
+            self._remember(key, result.entry)
+            return PacketVerdict(
+                action=result.entry.action,
+                path=PathTaken.MEGAFLOW,
+                masks_inspected=result.masks_inspected,
+            )
+
+        # Level 4: slow-path upcall.
+        return self._upcall(key, scanned=result.masks_inspected)
+
+    def process_packet(self, packet: Packet, in_port: int = 0, now: float | None = None) -> PacketVerdict:
+        """Classify a concrete :class:`Packet` (wire-format convenience)."""
+        return self.process(packet.flow_key(in_port=in_port), now=now)
+
+    def _upcall(self, key: FlowKey, scanned: int) -> PacketVerdict:
+        self.stats.upcalls += 1
+        result = self.generator.generate(key)
+        entry = result.entry
+        installed: MegaflowEntry | None = None
+        if (entry.mask, entry.key) in self._dead_entries:
+            # §8 quirk: deleted megaflows never re-spark; stay on slow path.
+            self.stats.dead_entry_suppressed += 1
+        elif self.megaflows.n_entries >= self.config.max_megaflows:
+            self.stats.install_rejected += 1
+        else:
+            installed = self.megaflows.insert(entry, now=self.now)
+            self.stats.installs += 1
+            self._remember(key, installed)
+        return PacketVerdict(
+            action=entry.action,
+            path=PathTaken.SLOW_PATH,
+            masks_inspected=scanned,
+            rules_examined=result.rules_examined,
+            installed=installed,
+        )
+
+    def _remember(self, key: FlowKey, entry: MegaflowEntry) -> None:
+        if self.microflows is not None:
+            self.microflows.insert(key, entry)
+        if self.mask_cache is not None:
+            self.mask_cache.update(key, entry.mask)
+
+    # -- management operations ---------------------------------------------------------
+    def kill_entry(self, entry: MegaflowEntry, permanent: bool = True) -> bool:
+        """Remove a megaflow (MFCGuard's delete).
+
+        With ``permanent`` (the documented OVS quirk) matching packets are
+        processed by the slow path forever after; :meth:`reinject` undoes it.
+        """
+        removed = self.megaflows.remove(entry)
+        if self.microflows is not None:
+            self.microflows.invalidate(entry)
+        if self.mask_cache is not None:
+            self.mask_cache.invalidate_mask(entry.mask)
+        if permanent:
+            self._dead_entries.add((entry.mask, entry.key))
+        return removed
+
+    def reinject(self, entry: MegaflowEntry) -> None:
+        """Manually re-allow an entry previously killed permanently."""
+        self._dead_entries.discard((entry.mask, entry.key))
+
+    def flush_caches(self) -> None:
+        """Drop all cached state (flow-table change revalidation)."""
+        self.megaflows.flush()
+        if self.microflows is not None:
+            self.microflows.flush()
+        if self.mask_cache is not None:
+            self.mask_cache.flush()
+        self.stats.flushes += 1
+
+    def evict_idle(self, now: float | None = None) -> list[MegaflowEntry]:
+        """Evict megaflows idle past the configured timeout."""
+        if now is not None:
+            self.now = max(self.now, now)
+        evicted = self.megaflows.evict_idle(self.now, self.config.idle_timeout)
+        if self.microflows is not None:
+            for entry in evicted:
+                self.microflows.invalidate(entry)
+        if self.mask_cache is not None:
+            for entry in evicted:
+                self.mask_cache.invalidate_mask(entry.mask)
+        return evicted
+
+    def reset_stats(self) -> None:
+        """Zero the aggregate counters (cache contents are kept)."""
+        self.stats = DatapathStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"Datapath({self.megaflows.n_masks} masks, "
+            f"{self.megaflows.n_entries} megaflows, "
+            f"{len(self.microflows) if self.microflows else 0} microflows)"
+        )

@@ -1,0 +1,108 @@
+"""``ovs-dpctl``-style introspection of the simulated datapath.
+
+MFCGuard's Algorithm 2 reads the mask count "via commands ``ovs-dpctl
+dump-flows`` or ``ovs-dpctl show``" (§11.4); this module renders the
+simulated datapath in the same spirit, so operators of the simulation can
+eyeball a tuple space explosion the way the paper's authors did:
+
+* :func:`show` — the summary block with the ``masks: hit:… total:…`` line
+  whose ``total`` is the attack's figure of merit;
+* :func:`dump_flows` — one line per megaflow in OVS's ``field(value/mask)``
+  syntax with hit statistics and actions;
+* :func:`mask_histogram` — mask population by wildcarded-bit count, handy
+  for spotting the prefix staircase a TSE attack carves.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.classifier.tss import MegaflowEntry
+from repro.packet.addresses import ipv4_str, ipv6_str
+from repro.packet.fields import FIELD_ORDER, FIELDS
+from repro.switch.datapath import Datapath
+
+__all__ = ["show", "dump_flows", "format_flow", "mask_histogram"]
+
+_INDEX = {name: i for i, name in enumerate(FIELD_ORDER)}
+
+# Render IP-ish fields in address notation like OVS does.
+_FORMATTERS = {
+    "ip_src": ipv4_str,
+    "ip_dst": ipv4_str,
+    "ipv6_src": ipv6_str,
+    "ipv6_dst": ipv6_str,
+}
+
+
+def _format_field(name: str, value: int, mask: int) -> str:
+    width = FIELDS[name].width
+    full = FIELDS[name].full_mask
+    formatter = _FORMATTERS.get(name)
+    if formatter is not None:
+        if mask == full:
+            return f"{name}={formatter(value)}"
+        # Prefix masks render as CIDR; arbitrary masks as value/mask.
+        plen = mask.bit_count()
+        if mask == ((1 << plen) - 1) << (width - plen) and plen:
+            return f"{name}={formatter(value)}/{plen}"
+        return f"{name}={formatter(value)}/{formatter(mask)}"
+    if mask == full:
+        return f"{name}={value}"
+    return f"{name}={value:#x}/{mask:#x}"
+
+
+def format_flow(entry: MegaflowEntry) -> str:
+    """One ``dump-flows`` line for a megaflow entry."""
+    parts = []
+    for name in FIELD_ORDER:
+        index = _INDEX[name]
+        mask = entry.mask.values[index]
+        if mask:
+            parts.append(_format_field(name, entry.key[index], mask))
+    match = ", ".join(parts) if parts else "(all wildcarded)"
+    action = "drop" if entry.action.is_drop else str(entry.action)
+    return (
+        f"{match}, packets:{entry.hits}, used:{entry.last_used:.3f}s, "
+        f"actions:{action}"
+    )
+
+
+def dump_flows(datapath: Datapath, max_flows: int | None = None) -> str:
+    """The ``ovs-dpctl dump-flows`` rendering of the megaflow cache."""
+    lines = []
+    for count, entry in enumerate(datapath.megaflows.entries()):
+        if max_flows is not None and count >= max_flows:
+            lines.append(f"... ({datapath.n_megaflows - max_flows} more)")
+            break
+        lines.append(format_flow(entry))
+    return "\n".join(lines)
+
+
+def show(datapath: Datapath) -> str:
+    """The ``ovs-dpctl show`` summary (the Alg. 2 line-2 data source)."""
+    stats = datapath.stats
+    cache = datapath.megaflows
+    lookups = cache.stats_hits + cache.stats_misses
+    lines = [
+        "datapath@repro:",
+        f"  lookups: hit:{cache.stats_hits} missed:{cache.stats_misses} total:{lookups}",
+        f"  flows: {datapath.n_megaflows}",
+        f"  masks: hit:{stats.masks_inspected_total} total:{datapath.n_masks} "
+        f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
+        f"  cache usage: {cache.memory_bytes() / 1e6:.2f} MB",
+    ]
+    if datapath.microflows is not None:
+        lines.append(
+            f"  microflows: {len(datapath.microflows)}/{datapath.microflows.capacity} "
+            f"(hit rate {datapath.microflows.hit_rate:.0%})"
+        )
+    return "\n".join(lines)
+
+
+def mask_histogram(datapath: Datapath) -> dict[int, int]:
+    """Mask count by number of wildcarded bits (the TSE staircase)."""
+    histogram: Counter[int] = Counter()
+    for mask in datapath.megaflows.masks():
+        histogram[mask.wildcarded_bits()] += 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,44 @@
+"""Unit tests for the TSS-cached classifier adapter."""
+
+import pytest
+
+from repro.classifier.adapter import TssCachedClassifier
+from repro.classifier.actions import ALLOW, DENY
+from repro.classifier.rule import FlowRule, Match
+from repro.packet.fields import FlowKey
+
+
+def rules():
+    return [
+        FlowRule(Match(tp_dst=80), ALLOW, priority=10, name="web"),
+        FlowRule(Match.any(), DENY, priority=0, name="deny"),
+    ]
+
+
+class TestAdapter:
+    def test_classifies_like_the_table(self):
+        clf = TssCachedClassifier(rules())
+        assert clf.classify(FlowKey(tp_dst=80)).action == ALLOW
+        assert clf.classify(FlowKey(tp_dst=81)).action == DENY
+
+    def test_first_lookup_includes_slow_path_cost(self):
+        clf = TssCachedClassifier(rules())
+        first = clf.classify(FlowKey(tp_dst=80))
+        again = clf.classify(FlowKey(tp_dst=80))
+        assert first.cost > again.cost  # upcall adds the rule scan
+
+    def test_rule_name_from_provenance(self):
+        clf = TssCachedClassifier(rules())
+        assert clf.classify(FlowKey(tp_dst=80)).rule_name == "web"
+
+    def test_cache_state_visible(self):
+        clf = TssCachedClassifier(rules())
+        assert clf.n_masks == 0
+        clf.classify(FlowKey(tp_dst=80))
+        assert clf.n_masks == 1
+
+    def test_clock_monotonic_across_many_lookups(self):
+        clf = TssCachedClassifier(rules())
+        for port in range(200):
+            clf.classify(FlowKey(tp_dst=port))
+        assert clf.datapath.now > 0

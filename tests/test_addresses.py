@@ -1,0 +1,77 @@
+"""Unit tests for address parsing/formatting helpers."""
+
+import pytest
+
+from repro.exceptions import FieldError
+from repro.packet.addresses import cidr4, cidr6, ipv4, ipv4_str, ipv6, ipv6_str, mac, mac_str
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        assert ipv4("10.0.0.1") == 0x0A000001
+        assert ipv4_str(0x0A000001) == "10.0.0.1"
+
+    def test_extremes(self):
+        assert ipv4("0.0.0.0") == 0
+        assert ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    def test_bad_input(self):
+        with pytest.raises(FieldError):
+            ipv4("10.0.0.256")
+        with pytest.raises(FieldError):
+            ipv4("not-an-ip")
+        with pytest.raises(FieldError):
+            ipv4_str(1 << 32)
+
+
+class TestIPv6:
+    def test_roundtrip(self):
+        value = ipv6("2001:db8::1")
+        assert value == 0x20010DB8000000000000000000000001
+        assert ipv6_str(value) == "2001:db8::1"
+
+    def test_bad_input(self):
+        with pytest.raises(FieldError):
+            ipv6("2001:db8::zz")
+        with pytest.raises(FieldError):
+            ipv6_str(1 << 128)
+
+
+class TestMac:
+    def test_roundtrip(self):
+        assert mac("02:00:00:00:00:01") == 0x020000000001
+        assert mac_str(0x020000000001) == "02:00:00:00:00:01"
+
+    def test_bad_input(self):
+        with pytest.raises(FieldError):
+            mac("02:00:00:00:00")  # five octets
+        with pytest.raises(FieldError):
+            mac("02:00:00:00:00:zz")
+        with pytest.raises(FieldError):
+            mac_str(1 << 48)
+
+
+class TestCidr:
+    def test_cidr4(self):
+        address, mask = cidr4("10.0.0.0/8")
+        assert address == 0x0A000000
+        assert mask == 0xFF000000
+
+    def test_cidr4_host_route(self):
+        address, mask = cidr4("10.0.0.1/32")
+        assert address == 0x0A000001
+        assert mask == 0xFFFFFFFF
+
+    def test_cidr4_non_strict(self):
+        address, mask = cidr4("10.1.2.3/8")  # host bits set: normalised
+        assert address == 0x0A000000
+        assert mask == 0xFF000000
+
+    def test_cidr6(self):
+        address, mask = cidr6("2001:db8::/32")
+        assert address == 0x20010DB8 << 96
+        assert mask == ((1 << 32) - 1) << 96
+
+    def test_bad_cidr(self):
+        with pytest.raises(FieldError):
+            cidr4("10.0.0.0/33")

@@ -1,0 +1,84 @@
+"""Unit tests for cost-curve calibration against the paper's anchors."""
+
+import pytest
+
+from repro.exceptions import SwitchError
+from repro.switch.calibration import CurveParams, fit_profile, fraction_of_baseline
+from repro.switch.offload import FHO_TCP, GRO_OFF_TCP, GRO_ON_TCP, NicProfile, UDP_PROFILE
+
+
+class TestFitQuality:
+    """The fitted curves must land on the paper's §5.4/§6.2 numbers."""
+
+    @pytest.mark.parametrize("profile", [GRO_OFF_TCP, GRO_ON_TCP, FHO_TCP, UDP_PROFILE],
+                             ids=lambda p: p.name)
+    def test_anchor_errors_bounded(self, profile):
+        params = fit_profile(profile)
+        for masks, target in profile.anchors.items():
+            assert params.fraction(masks) == pytest.approx(target, rel=0.12), (
+                f"{profile.name} at {masks} masks"
+            )
+
+    def test_gro_off_headline_numbers(self):
+        """§5.4: 53% at 17 masks, 10% at 260, 4.7% at 516, 0.2% at 8200."""
+        params = fit_profile(GRO_OFF_TCP)
+        assert params.fraction(17) == pytest.approx(0.53, abs=0.03)
+        assert params.fraction(260) == pytest.approx(0.10, abs=0.01)
+        assert params.fraction(8200) == pytest.approx(0.002, abs=0.0005)
+
+    def test_fit_is_cached(self):
+        assert fit_profile(GRO_OFF_TCP) is fit_profile(GRO_OFF_TCP)
+
+    def test_profile_without_anchors_rejected(self):
+        bare = NicProfile(name="bare", baseline_gbps=1.0, unit_bytes=1500)
+        with pytest.raises(SwitchError, match="anchors"):
+            fit_profile(bare)
+
+
+class TestCurveShape:
+    def test_monotone_decreasing(self):
+        params = fit_profile(GRO_OFF_TCP)
+        fractions = [params.fraction(m) for m in (1, 10, 100, 1000, 8200)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_fraction_at_one_mask_is_full(self):
+        for profile in (GRO_OFF_TCP, GRO_ON_TCP, FHO_TCP, UDP_PROFILE):
+            assert fit_profile(profile).fraction(1) == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_masks_treated_as_one(self):
+        params = fit_profile(GRO_OFF_TCP)
+        assert params.fraction(0) == params.fraction(1)
+
+    def test_negative_masks_rejected(self):
+        params = fit_profile(GRO_OFF_TCP)
+        with pytest.raises(SwitchError):
+            params.relative_cost(-1)
+
+    def test_relative_cost_inverse_of_fraction(self):
+        params = fit_profile(GRO_OFF_TCP)
+        for masks in (17, 260, 8200):
+            cost = params.relative_cost(masks)
+            # fraction = min(1, baseline/cost): for degraded points they
+            # are exact inverses (up to the a+b normalisation).
+            assert params.fraction(masks) == pytest.approx(
+                min(1.0, 1.0 / (cost * (params.a + params.b))), rel=1e-6
+            )
+
+    def test_step_models_microflow_thrash(self):
+        """The GRO OFF curve needs the M>1 step for its steep first drop."""
+        params = fit_profile(GRO_OFF_TCP)
+        assert params.s > 0.1
+
+    def test_convenience_wrapper(self):
+        assert fraction_of_baseline(GRO_OFF_TCP, 17) == fit_profile(GRO_OFF_TCP).fraction(17)
+
+
+class TestCurveParamsDirect:
+    def test_manual_params(self):
+        params = CurveParams(a=1.0, s=0.0, b=0.0, gamma=1.0)
+        assert params.fraction(100) == 1.0
+        assert params.relative_cost(100) == 1.0
+
+    def test_linear_curve(self):
+        params = CurveParams(a=0.0, s=0.0, b=1.0, gamma=1.0)
+        assert params.relative_cost(10) == pytest.approx(10.0)

@@ -1,0 +1,54 @@
+"""Tests for the experiments CLI and the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8a" in out
+        assert "theorem41" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig9b" in capsys.readouterr().out
+
+    def test_run_one(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Kubernetes" in out
+        assert "finished in" in out
+
+    def test_save(self, tmp_path, capsys):
+        assert main(["didactic", "--save", str(tmp_path)]) == 0
+        assert (tmp_path / "didactic.txt").exists()
+
+    def test_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nonexistent"])
+
+
+class TestExceptionHierarchy:
+    def test_single_root(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not exceptions.ReproError:
+                assert issubclass(obj, exceptions.ReproError), name
+
+    def test_domain_subtrees(self):
+        assert issubclass(exceptions.FieldError, exceptions.PacketError)
+        assert issubclass(exceptions.PcapError, exceptions.PacketError)
+        assert issubclass(exceptions.RuleError, exceptions.ClassifierError)
+        assert issubclass(exceptions.CacheInvariantError, exceptions.ClassifierError)
+        assert issubclass(exceptions.PolicyError, exceptions.SimulationError)
+
+    def test_catch_all_contract(self):
+        """Library failures are catchable with one except clause."""
+        from repro.packet.addresses import ipv4
+
+        with pytest.raises(exceptions.ReproError):
+            ipv4("not-an-address")

@@ -1,0 +1,88 @@
+"""Unit tests for the ovs-dpctl-style introspection."""
+
+import pytest
+
+from repro.core.tracegen import ColocatedTraceGenerator
+from repro.core.usecases import DP, SIPDP
+from repro.packet.fields import FlowKey
+from repro.packet.headers import PROTO_TCP
+from repro.switch.datapath import Datapath, DatapathConfig
+from repro.switch.dpctl import dump_flows, format_flow, mask_histogram, show
+
+
+@pytest.fixture
+def attacked():
+    table = SIPDP.build_table()
+    datapath = Datapath(table, DatapathConfig(microflow_capacity=0))
+    trace = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate()
+    for key in trace.keys:
+        datapath.process(key)
+    return datapath
+
+
+class TestShow:
+    def test_mask_total_is_the_figure_of_merit(self, attacked):
+        text = show(attacked)
+        assert "total:513" in text  # the SipDp ceiling
+        assert "flows: 529" in text
+
+    def test_lookup_counters(self, attacked):
+        text = show(attacked)
+        assert "lookups:" in text
+        assert "missed:" in text
+
+    def test_microflow_line_optional(self):
+        table = DP.build_table()
+        with_emc = Datapath(table)
+        assert "microflows:" in show(with_emc)
+        without = Datapath(table, DatapathConfig(microflow_capacity=0))
+        assert "microflows:" not in show(without)
+
+
+class TestDumpFlows:
+    def test_one_line_per_flow(self, attacked):
+        lines = dump_flows(attacked).splitlines()
+        assert len(lines) == attacked.n_megaflows
+
+    def test_truncation(self, attacked):
+        lines = dump_flows(attacked, max_flows=10).splitlines()
+        assert len(lines) == 11
+        assert "more" in lines[-1]
+
+    def test_flow_rendering(self):
+        table = DP.build_table()
+        datapath = Datapath(table, DatapathConfig(microflow_capacity=0))
+        verdict = datapath.process(FlowKey(ip_proto=PROTO_TCP, tp_dst=80))
+        line = format_flow(verdict.installed)
+        assert "ip_proto=6" in line
+        assert "tp_dst=80" in line
+        assert "actions:allow" in line
+
+    def test_deny_rendering_with_prefix(self):
+        table = DP.build_table()
+        datapath = Datapath(table, DatapathConfig(microflow_capacity=0))
+        verdict = datapath.process(FlowKey(ip_proto=PROTO_TCP, tp_dst=0x8000 | 80))
+        line = format_flow(verdict.installed)
+        assert "actions:drop" in line
+        assert "/" in line  # partially-wildcarded port renders value/mask
+
+    def test_ip_rendering_cidr(self):
+        table = SIPDP.build_table()
+        datapath = Datapath(table, DatapathConfig(microflow_capacity=0))
+        verdict = datapath.process(
+            FlowKey(ip_proto=PROTO_TCP, ip_src=0x0A000001, tp_src=1, tp_dst=81)
+        )
+        text = dump_flows(datapath)
+        assert "ip_src=10.0.0.1" in text
+
+
+class TestHistogram:
+    def test_staircase_shape(self, attacked):
+        histogram = mask_histogram(attacked)
+        assert sum(histogram.values()) == attacked.n_masks
+        # The TSE staircase: many distinct wildcard levels.
+        assert len(histogram) > 20
+
+    def test_empty(self):
+        datapath = Datapath(DP.build_table())
+        assert mask_histogram(datapath) == {}

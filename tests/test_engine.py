@@ -1,0 +1,125 @@
+"""Unit tests for the simulation engine and metrics."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.netsim.engine import Simulation
+from repro.netsim.metrics import MetricsCollector, TimeSeries
+
+
+class Recorder:
+    def __init__(self):
+        self.ticks = []
+
+    def tick(self, now, dt):
+        self.ticks.append((round(now, 6), dt))
+
+
+class TestSimulation:
+    def test_tick_count_and_spacing(self):
+        sim = Simulation(dt=0.5)
+        recorder = Recorder()
+        sim.add(recorder)
+        sim.run(2.0)
+        assert [t for t, _dt in recorder.ticks] == [0.0, 0.5, 1.0, 1.5]
+
+    def test_components_ticked_in_order(self):
+        sim = Simulation(dt=1.0)
+        order = []
+
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def tick(self, now, dt):
+                order.append(self.tag)
+
+        sim.add(Tagged("a"))
+        sim.add(Tagged("b"))
+        sim.run(1.0)
+        assert order == ["a", "b"]
+
+    def test_observers_run_after_components(self):
+        sim = Simulation(dt=1.0)
+        events = []
+
+        class Component:
+            def tick(self, now, dt):
+                events.append("component")
+
+        sim.add(Component())
+        sim.observe(lambda now: events.append("observer"))
+        sim.run(2.0)
+        assert events == ["component", "observer"] * 2
+
+    def test_run_resumable(self):
+        sim = Simulation(dt=1.0)
+        recorder = Recorder()
+        sim.add(recorder)
+        sim.run(2.0)
+        sim.run(2.0)
+        assert len(recorder.ticks) == 4
+        assert sim.now == pytest.approx(4.0)
+
+    def test_float_drift_guard(self):
+        sim = Simulation(dt=0.1)
+        recorder = Recorder()
+        sim.add(recorder)
+        sim.run(3.0)
+        assert len(recorder.ticks) == 30  # exactly, despite 0.1 imprecision
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Simulation(dt=0)
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.run(-1)
+        with pytest.raises(SimulationError):
+            sim.add(object())
+
+
+class TestTimeSeries:
+    def test_record_and_query(self):
+        series = TimeSeries("rate")
+        for t, v in ((0.0, 1.0), (1.0, 2.0), (2.0, 3.0)):
+            series.record(t, v)
+        assert len(series) == 3
+        assert series.at(1.5) == 2.0
+        assert series.at(2.0) == 3.0
+        assert series.mean(0.0, 3.0) == 2.0
+        assert series.minimum() == 1.0
+        assert series.maximum(1.0, 3.0) == 3.0
+
+    def test_time_monotonicity(self):
+        series = TimeSeries("x")
+        series.record(1.0, 1.0)
+        with pytest.raises(SimulationError, match="backwards"):
+            series.record(0.5, 2.0)
+
+    def test_empty_window(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            series.mean(5.0, 6.0)
+        with pytest.raises(SimulationError):
+            series.at(-1.0)
+
+    def test_iteration(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        assert list(series) == [(0.0, 1.0)]
+
+
+class TestMetricsCollector:
+    def test_collects_named_series(self):
+        metrics = MetricsCollector()
+        metrics.record("rate", 0.0, 5.0)
+        metrics.record("rate", 1.0, 6.0)
+        metrics.record("masks", 0.0, 1.0)
+        assert metrics.names() == ["masks", "rate"]
+        assert "rate" in metrics
+        assert metrics.series("rate").at(1.0) == 6.0
+
+    def test_unknown_series(self):
+        with pytest.raises(SimulationError, match="no series"):
+            MetricsCollector().series("nope")

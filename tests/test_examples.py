@@ -1,0 +1,56 @@
+"""The example scripts must run end to end (they are executable docs)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    argv = sys.argv
+    try:
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "8209" in out          # the tuple space exploded
+        assert "megaflow masks" in out
+
+    def test_mfcguard_demo(self, capsys):
+        out = run_example("mfcguard_demo.py", capsys)
+        assert "TSE pattern" in out
+        assert "never re-spark" in out
+        assert "80%" in out or "80" in out  # Fig. 9c anchor mentioned
+
+    def test_general_attack(self, capsys):
+        out = run_example("general_attack.py", capsys)
+        assert "masks (measured)" in out
+        assert "wrote 1000 attack packets" in out
+
+    def test_classifier_comparison(self, capsys):
+        out = run_example("classifier_comparison.py", capsys)
+        assert "tss-cache" in out
+        assert "hypercuts" in out
+
+    def test_colocated_cloud_attack(self, capsys):
+        out = run_example("colocated_cloud_attack.py", capsys)
+        assert "attack trace" in out
+        assert "recovered" in out
+
+    def test_operator_triage(self, capsys):
+        out = run_example("operator_triage.py", capsys)
+        assert "ovs-dpctl show" in out
+        assert "TSE attribution" in out
+        assert "exposure review" in out

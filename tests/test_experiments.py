@@ -1,0 +1,263 @@
+"""Integration tests: every experiment harness runs and matches the paper.
+
+Simulation experiments run with reduced durations/sizes here; the
+full-size versions are the pytest-benchmark targets.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import (
+    comparison,
+    didactic,
+    fig8a,
+    fig8b,
+    fig8c,
+    fig9a,
+    fig9b,
+    fig9c,
+    ipv6_quirk,
+    mfcguard,
+    section54,
+    section62,
+    section7,
+    table1,
+    theorem41,
+    theorem42,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestRegistry:
+    def test_all_sixteen_experiments(self):
+        assert len(EXPERIMENTS) == 16
+
+    def test_run_by_id(self):
+        result = run_experiment("table1")
+        assert result.experiment_id == "table1"
+
+    def test_every_result_formats(self):
+        result = table1.run()
+        text = result.format_table()
+        assert "table1" in text
+        assert "OpenStack" in text
+
+    def test_save(self, tmp_path):
+        path = table1.run().save(tmp_path)
+        assert path.read_text().startswith("== table1")
+
+    def test_row_arity_checked(self):
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult("x", "t", "ref", columns=["a", "b"])
+        with pytest.raises(ExperimentError):
+            result.add_row(1)
+
+    def test_column_lookup(self):
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult("x", "t", "ref", columns=["a", "b"])
+        result.add_row(1, 2)
+        assert result.column("b") == [2]
+        with pytest.raises(ExperimentError):
+            result.column("c")
+
+
+class TestDidactic:
+    def test_figs_2_3_5_counts(self):
+        result = didactic.run()
+        rows = {row[0]: row for row in result.rows}
+        assert rows["Fig. 2 (exact-match)"][2:4] == (1, 8)
+        assert rows["Fig. 3 (wildcarding)"][2:4] == (3, 4)
+        assert rows["Fig. 5 (two fields)"][2:4] == (13, 16)
+
+    def test_trace_note_matches_paper(self):
+        result = didactic.run()
+        assert any("001, 101, 011, 000" in note for note in result.notes)
+
+
+class TestFig9a:
+    def test_shape(self):
+        result = fig9a.run(mask_counts=(1, 17, 260, 516, 8200))
+        gro_off = result.column("gro_off_gbps")
+        assert gro_off[0] == pytest.approx(10.0, rel=0.05)
+        assert gro_off == sorted(gro_off, reverse=True)
+        # §5.4: SipSpDp leaves 0.2% with GRO OFF.
+        assert gro_off[-1] == pytest.approx(0.02, rel=0.3)
+
+    def test_fho_higher_baseline(self):
+        result = fig9a.run(mask_counts=(1,))
+        assert result.column("fho_gbps")[0] == pytest.approx(30.0, rel=0.05)
+
+    def test_fct_grows(self):
+        result = fig9a.run(mask_counts=(1, 516))
+        fct = result.column("fct_1gb_s")
+        assert fct[1] > 10 * fct[0]
+
+
+class TestFig9b:
+    def test_expected_vs_measured_agree(self):
+        result = fig9b.run(packet_counts=(100, 2000), runs=2, seed=1)
+        for name in ("Dp", "SipDp"):
+            expected = result.column(f"{name}_E")
+            measured = result.column(f"{name}_M")
+            for e, m in zip(expected, measured):
+                assert m == pytest.approx(e, rel=0.25)
+
+
+class TestFig9c:
+    def test_anchors(self):
+        result = fig9c.run(rates=(1000, 10000), simulate_up_to=0)
+        cpu = result.column("cpu_pct")
+        assert cpu[0] == pytest.approx(15.0, abs=1.0)
+        assert cpu[1] == pytest.approx(80.0, abs=2.0)
+
+    def test_simulated_demotion_near_rate(self):
+        result = fig9c.run(rates=(500,), simulate_up_to=1000)
+        demoted = result.column("demoted_pps_simulated")[0]
+        assert demoted == pytest.approx(500, rel=0.15)
+
+
+class TestSection54:
+    def test_mask_ceilings(self):
+        result = section54.run()
+        by_case = {row[0]: row for row in result.rows}
+        assert by_case["Dp"][2] == 16
+        assert by_case["SipSpDp"][2] == 8209
+
+    def test_throughput_close_to_paper(self):
+        result = section54.run()
+        for row in result.rows:
+            case, *_rest = row
+            gro_off_pct = row[result.columns.index("gro_off_pct")]
+            paper = row[result.columns.index("paper_gro_off")]
+            assert gro_off_pct == pytest.approx(paper, rel=0.35), case
+
+
+class TestSection62:
+    def test_measured_tracks_expected(self):
+        result = section62.run(budgets=(1000,), runs=2)
+        for row in result.rows:
+            measured = row[result.columns.index("masks_measured")]
+            expected = row[result.columns.index("masks_expected")]
+            assert measured == pytest.approx(expected, rel=0.25)
+
+
+class TestTheorems:
+    def test_theorem41_bound_respected(self):
+        result = theorem41.run(width=16, constructive_width=8)
+        for row in result.rows:
+            _k, bound, construct, _bm, _be = row
+            assert construct >= bound
+
+    def test_theorem41_exhaustive_matches(self):
+        result = theorem41.run(width=8, constructive_width=8)
+        for row in result.rows:
+            _k, _bound, construct, built_masks, built_entries = row
+            assert built_entries == construct
+
+    def test_theorem42_closed_form_matches_cache(self):
+        result = theorem42.run(check_widths=(3, 4, 3))
+        note = result.notes[0]
+        assert "built" in note
+        # The note embeds built vs closed numbers; parse and compare.
+        import re
+
+        numbers = [int(x) for x in re.findall(r"\d+", note.split("built")[1])]
+        built_masks, built_entries, closed_masks, closed_entries = numbers[:4]
+        assert (built_masks, built_entries) == (closed_masks, closed_entries)
+
+
+class TestIPv6Quirk:
+    def test_exact_strategy_blows_memory_not_masks(self):
+        result = ipv6_quirk.run(n_packets=3000, seed=1)
+        rows = {row[0]: row for row in result.rows}
+        exact = rows["ovs-default (v6 exact)"]
+        wild = rows["bit-wildcarding"]
+        assert exact[1] < 40          # masks stay tiny
+        assert exact[2] > 2500        # one entry per random source
+        assert wild[1] > exact[1]     # wildcarding spawns masks instead
+        assert wild[2] < exact[2] / 5
+        assert exact[3] > wild[3]     # memory blow-up
+
+
+class TestComparison:
+    def test_tss_degrades_alternatives_do_not(self):
+        result = comparison.run(benign_packets=300)
+        by_name = {row[0]: row for row in result.rows}
+        degradation = result.columns.index("degradation_x")
+        assert by_name["tss-cache"][degradation] > 100
+        for name in ("linear", "hierarchical-tries", "hypercuts", "harp"):
+            assert by_name[name][degradation] == pytest.approx(1.0, abs=0.05)
+
+
+@pytest.mark.slow
+class TestTimeSeries:
+    """Reduced-duration versions of the Fig. 8 simulations."""
+
+    def test_fig8a_shape(self):
+        result = fig8a.run(duration=55.0, attack_start=15.0, attack_stop=35.0,
+                           sample_every=1.0)
+        times = result.column("t_s")
+        sums = result.column("victim_sum_gbps")
+        baseline = max(v for t, v in zip(times, sums) if t < 15)
+        floor = min(v for t, v in zip(times, sums) if 20 <= t < 35)
+        recovered = max(v for t, v in zip(times, sums) if t > 50)
+        assert baseline > 9.0           # ~9.7 Gbps
+        assert floor < 0.6              # below 0.5 Gbps
+        assert recovered > 0.8 * baseline
+        # Recovery is *delayed* ~10 s past attack stop (idle timeout).
+        at_40 = next(v for t, v in zip(times, sums) if 40 <= t < 41)
+        assert at_40 < 0.3 * baseline
+
+    def test_fig8b_established_flow_quirk(self):
+        result = fig8b.run(duration=80.0, victim_start=10.0,
+                           attack_windows=((0.0, 30.0), (60.0, 80.0)),
+                           sample_every=1.0)
+        times = result.column("t_s")
+        rates = result.column("victim_gbps")
+        first = min(v for t, v in zip(times, rates) if 12 <= t < 30)
+        calm = max(v for t, v in zip(times, rates) if 45 <= t < 60)
+        re_attack = min(v for t, v in zip(times, rates) if 66 <= t < 80)
+        assert first < 0.1 * calm          # >90% degradation
+        assert re_attack > 0.75 * calm     # ~10% dip only
+
+    def test_fig8c_three_phases(self):
+        result = fig8c.run(duration=100.0, victim_start=5.0, t1_attack_start=20.0,
+                           t2_acl_injection=40.0, t4_escalation=70.0,
+                           sample_every=1.0)
+        times = result.column("t_s")
+        rates = result.column("victim_gbps")
+        pre = min(v for t, v in zip(times, rates) if 25 <= t < 40)
+        post_acl = [v for t, v in zip(times, rates) if 55 <= t < 70]
+        final = [v for t, v in zip(times, rates) if 85 <= t < 100]
+        assert pre > 0.7                    # minor glitch only
+        assert 0.05 < min(post_acl) and max(post_acl) < 0.35  # ~80% drop
+        assert max(final) < 0.05            # full DoS
+        masks = result.column("mfc_masks")
+        assert max(masks) == 8209
+
+    def test_mfcguard_restores_service(self):
+        result = mfcguard.run(duration=45.0, attack_start=10.0, sample_every=2.0)
+        guard_rates = result.column("victim_gbps_guard")
+        noguard_rates = result.column("victim_gbps_noguard")
+        times = result.column("t_s")
+        late_guard = [v for t, v in zip(times, guard_rates) if t > 35]
+        late_noguard = [v for t, v in zip(times, noguard_rates) if t > 35]
+        assert max(late_guard) > 5 * max(late_noguard)
+        masks_guard = result.column("masks_guard")
+        assert min(masks_guard[-3:]) < 150
+
+
+class TestSection7:
+    def test_expressiveness_ceilings(self):
+        result = section7.run(random_budget=1000)
+        ceilings = result.column("max_masks")
+        assert ceilings[0] == 513          # OpenStack ingress (paper: 512)
+        assert ceilings[1] == 8209         # Calico ingress (paper: 8192)
+        assert 200_000 < ceilings[2] < 300_000  # Calico egress (~200k)
+
+    def test_expectations_monotone_in_surface(self):
+        result = section7.run(random_budget=1000)
+        expectations = result.column("expected_masks_1000_random")
+        assert expectations == sorted(expectations)

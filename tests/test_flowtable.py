@@ -1,0 +1,120 @@
+"""Unit tests for the ordered flow table."""
+
+import pytest
+
+from repro.classifier.actions import ALLOW, DENY
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.rule import FlowRule, Match
+from repro.exceptions import RuleError
+from repro.packet.fields import FlowKey
+
+
+class TestOrdering:
+    def test_priority_wins(self):
+        table = FlowTable()
+        table.add_rule(Match(tp_dst=80), DENY, priority=1, name="low")
+        table.add_rule(Match(tp_dst=80), ALLOW, priority=10, name="high")
+        assert table.lookup(FlowKey(tp_dst=80)).name == "high"
+
+    def test_insertion_order_breaks_ties(self):
+        table = FlowTable()
+        table.add_rule(Match(tp_dst=80), ALLOW, priority=5, name="first")
+        table.add_rule(Match(tp_dst=80), DENY, priority=5, name="second")
+        assert table.lookup(FlowKey(tp_dst=80)).name == "first"
+
+    def test_paper_fig6_overlap_example(self):
+        """§2.1: packet matching rules #2 and #4 resolves to #2."""
+        table = FlowTable()
+        table.add_rule(Match(tp_dst=80), ALLOW, priority=40, name="#1")
+        table.add_rule(Match(ip_src=0x0A000001), ALLOW, priority=30, name="#2")
+        table.add_rule(Match(tp_src=12345), ALLOW, priority=20, name="#3")
+        table.add_default_deny(name="#4")
+        key = FlowKey(ip_src=0x0A000001, tp_src=34521, tp_dst=443)
+        assert table.lookup(key).name == "#2"
+
+    def test_classify_defaults_deny(self):
+        table = FlowTable()
+        table.add_rule(Match(tp_dst=80), ALLOW, priority=1)
+        assert table.classify(FlowKey(tp_dst=81)) == DENY
+        assert table.lookup(FlowKey(tp_dst=81)) is None
+
+
+class TestMutation:
+    def test_add_and_remove(self):
+        table = FlowTable()
+        rule = table.add_rule(Match(tp_dst=80), ALLOW)
+        assert len(table) == 1
+        table.remove(rule)
+        assert len(table) == 0
+
+    def test_remove_missing_raises(self):
+        table = FlowTable()
+        rule = FlowRule(Match(tp_dst=80), ALLOW)
+        with pytest.raises(RuleError, match="not in table"):
+            table.remove(rule)
+
+    def test_add_requires_flowrule(self):
+        with pytest.raises(RuleError):
+            FlowTable().add("rule")  # type: ignore[arg-type]
+
+    def test_clear(self):
+        table = FlowTable()
+        table.add_rule(Match(tp_dst=80), ALLOW)
+        table.clear()
+        assert len(table) == 0
+
+    def test_extend(self):
+        rules = [
+            FlowRule(Match(tp_dst=80), ALLOW, priority=2),
+            FlowRule(Match(tp_dst=81), DENY, priority=1),
+        ]
+        table = FlowTable()
+        table.extend(rules)
+        assert len(table) == 2
+
+    def test_version_bumps_on_change(self):
+        table = FlowTable()
+        version = table.version
+        table.add_rule(Match(tp_dst=80), ALLOW)
+        assert table.version > version
+
+    def test_subscription_fires(self):
+        table = FlowTable()
+        events = []
+        table.subscribe(lambda: events.append(1))
+        table.add_rule(Match(tp_dst=80), ALLOW)
+        table.clear()
+        assert len(events) == 2
+
+
+class TestStructure:
+    def test_order_independence_detection(self):
+        disjoint = FlowTable()
+        disjoint.add_rule(Match(tp_dst=80), ALLOW)
+        disjoint.add_rule(Match(tp_dst=81), DENY)
+        assert disjoint.is_order_independent()
+
+        overlapping = FlowTable()
+        overlapping.add_rule(Match(tp_dst=80), ALLOW)
+        overlapping.add_default_deny()
+        assert not overlapping.is_order_independent()
+
+    def test_overlapping_pairs(self):
+        table = FlowTable()
+        a = table.add_rule(Match(tp_dst=80), ALLOW, priority=2, name="a")
+        b = table.add_default_deny(name="b")
+        pairs = table.overlapping_pairs()
+        assert (a, b) in pairs
+
+    def test_format_table_renders(self):
+        table = FlowTable(name="acl")
+        table.add_rule(Match(tp_dst=80), ALLOW, name="allow-web")
+        text = table.format_table()
+        assert "acl" in text
+        assert "allow-web" in text
+
+    def test_default_deny_lowest_priority(self):
+        table = FlowTable()
+        table.add_default_deny()
+        table.add_rule(Match(tp_dst=80), ALLOW, priority=10)
+        assert table.classify(FlowKey(tp_dst=80)) == ALLOW

@@ -1,0 +1,169 @@
+"""Unit tests for wire-format headers: packing, parsing, checksums."""
+
+import pytest
+
+from repro.exceptions import PacketError
+from repro.packet.headers import (
+    ICMP,
+    IPv4,
+    IPv6,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP,
+    UDP,
+    Ethernet,
+    internet_checksum,
+)
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example from RFC 1071 §3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\xff") == internet_checksum(b"\xff\x00")
+
+    def test_checksum_of_packet_with_checksum_is_zero(self):
+        header = IPv4(src=0x0A000001, dst=0x0A000002).pack()
+        assert internet_checksum(header) == 0
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        eth = Ethernet(dst=0x112233445566, src=0xAABBCCDDEEFF, ethertype=0x0800)
+        parsed, rest = Ethernet.unpack(eth.pack())
+        assert parsed == eth
+        assert rest == b""
+
+    def test_truncated(self):
+        with pytest.raises(PacketError, match="truncated"):
+            Ethernet.unpack(b"\x00" * 10)
+
+    def test_value_range(self):
+        with pytest.raises(PacketError):
+            Ethernet(dst=1 << 48).pack()
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        ip = IPv4(src=0x0A000001, dst=0xC0A80101, proto=PROTO_TCP, ttl=17, tos=0x20)
+        parsed, rest = IPv4.unpack(ip.pack(payload_len=100))
+        assert parsed.src == ip.src
+        assert parsed.dst == ip.dst
+        assert parsed.proto == PROTO_TCP
+        assert parsed.ttl == 17
+        assert parsed.tos == 0x20
+        assert parsed.total_length == 120
+        assert rest == b""
+
+    def test_checksum_verifies(self):
+        ip = IPv4(src=1, dst=2)
+        parsed, _ = IPv4.unpack(ip.pack())
+        assert parsed.verify_checksum()
+
+    def test_rejects_wrong_version(self):
+        data = bytearray(IPv4().pack())
+        data[0] = (6 << 4) | 5
+        with pytest.raises(PacketError, match="version"):
+            IPv4.unpack(bytes(data))
+
+    def test_rejects_bad_ihl(self):
+        data = bytearray(IPv4().pack())
+        data[0] = (4 << 4) | 3  # IHL below minimum
+        with pytest.raises(PacketError, match="IHL"):
+            IPv4.unpack(bytes(data))
+
+    def test_fragment_fields(self):
+        ip = IPv4(flags=0b010, frag_offset=123)
+        parsed, _ = IPv4.unpack(ip.pack())
+        assert parsed.flags == 0b010
+        assert parsed.frag_offset == 123
+
+
+class TestIPv6:
+    def test_roundtrip(self):
+        ip6 = IPv6(
+            src=0x20010DB8 << 96,
+            dst=(0x20010DB8 << 96) | 1,
+            next_header=PROTO_UDP,
+            hop_limit=42,
+            traffic_class=7,
+            flow_label=0xABCDE,
+        )
+        parsed, rest = IPv6.unpack(ip6.pack(payload_len=8))
+        assert parsed.src == ip6.src
+        assert parsed.dst == ip6.dst
+        assert parsed.next_header == PROTO_UDP
+        assert parsed.hop_limit == 42
+        assert parsed.traffic_class == 7
+        assert parsed.flow_label == 0xABCDE
+        assert parsed.payload_length == 8
+        assert rest == b""
+
+    def test_rejects_wrong_version(self):
+        data = bytearray(IPv6().pack())
+        data[0] = 4 << 4
+        with pytest.raises(PacketError, match="version"):
+            IPv6.unpack(bytes(data))
+
+
+class TestTCP:
+    def test_roundtrip(self):
+        tcp = TCP(src_port=12345, dst_port=80, seq=7, ack=9, flags=TCP.FLAG_SYN | TCP.FLAG_ACK)
+        parsed, rest = TCP.unpack(tcp.pack())
+        assert parsed.src_port == 12345
+        assert parsed.dst_port == 80
+        assert parsed.seq == 7
+        assert parsed.ack == 9
+        assert parsed.flags == TCP.FLAG_SYN | TCP.FLAG_ACK
+        assert rest == b""
+
+    def test_checksum_with_pseudo_header(self):
+        from repro.packet.headers import _pseudo_header_v4
+
+        payload = b"hello"
+        pseudo = _pseudo_header_v4(0x0A000001, 0x0A000002, PROTO_TCP, TCP.HEADER_LEN + len(payload))
+        packed = TCP(src_port=1, dst_port=2).pack(payload=payload, pseudo_header=pseudo)
+        assert internet_checksum(pseudo + packed + payload) == 0
+
+    def test_truncated(self):
+        with pytest.raises(PacketError):
+            TCP.unpack(b"\x00" * 19)
+
+
+class TestUDP:
+    def test_roundtrip(self):
+        udp = UDP(src_port=5353, dst_port=53)
+        parsed, rest = UDP.unpack(udp.pack(payload=b"x" * 4))
+        assert parsed.src_port == 5353
+        assert parsed.dst_port == 53
+        assert parsed.length == 12
+        assert rest == b""
+
+    def test_zero_checksum_becomes_ffff(self):
+        # RFC 768: transmitted zero checksum means "no checksum"; computed
+        # zero is sent as 0xFFFF.
+        from repro.packet.headers import _pseudo_header_v4
+
+        pseudo = _pseudo_header_v4(0, 0, PROTO_UDP, UDP.HEADER_LEN)
+        packed = UDP(src_port=0, dst_port=0).pack(pseudo_header=pseudo)
+        parsed, _ = UDP.unpack(packed)
+        assert parsed.checksum != 0
+
+
+class TestICMP:
+    def test_roundtrip(self):
+        icmp = ICMP(icmp_type=8, code=0, rest=0x1234)
+        parsed, rest = ICMP.unpack(icmp.pack(payload=b"ping"))
+        assert parsed.icmp_type == 8
+        assert parsed.code == 0
+        assert parsed.rest == 0x1234
+        assert rest == b""
+
+    def test_checksum_zeroes(self):
+        packed = ICMP().pack(payload=b"abc")
+        # Note: checksum covers header only here (payload passed separately
+        # at pack time is included in the sum).
+        assert len(packed) == ICMP.HEADER_LEN

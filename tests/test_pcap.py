@@ -1,0 +1,94 @@
+"""Unit tests for pcap reading/writing."""
+
+import io
+import struct
+
+import pytest
+
+from repro.exceptions import PcapError
+from repro.packet.builder import PacketBuilder
+from repro.packet.pcap import (
+    LINKTYPE_ETHERNET,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+
+def sample_packets(n=5):
+    builder = PacketBuilder(seed=1)
+    return [builder.tcp(ip_src=i, ip_dst=100 + i, tp_dst=80) for i in range(n)]
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        packets = sample_packets()
+        count = write_pcap(path, packets, rate_pps=100)
+        assert count == 5
+        loaded = read_pcap(path)
+        assert len(loaded) == 5
+        for (timestamp, packet), original in zip(loaded, packets):
+            assert packet.flow_key() == original.flow_key()
+        # 100 pps spacing = 10 ms between packets.
+        assert loaded[1][0] - loaded[0][0] == pytest.approx(0.01, abs=1e-6)
+
+    def test_stream_roundtrip(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for packet in sample_packets(3):
+            writer.write_packet(packet, timestamp=1.5)
+        buffer.seek(0)
+        records = list(PcapReader(buffer))
+        assert len(records) == 3
+        assert records[0].timestamp == pytest.approx(1.5, abs=1e-6)
+
+    def test_linktype_recorded(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_packets(1))
+        with PcapReader(path) as reader:
+            assert reader.linktype == LINKTYPE_ETHERNET
+            assert reader.version == (2, 4)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError, match="magic"):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError, match="truncated"):
+            PcapReader(io.BytesIO(b"\xd4\xc3\xb2\xa1"))
+
+    def test_truncated_record(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(b"payload", timestamp=0)
+        data = buffer.getvalue()[:-3]  # chop the record body
+        with pytest.raises(PcapError, match="truncated"):
+            list(PcapReader(io.BytesIO(data)))
+
+    def test_implausible_length(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)  # just the global header
+        buffer.write(struct.pack("<IIII", 0, 0, 100, 50))  # incl > orig
+        buffer.seek(0)
+        with pytest.raises(PcapError, match="implausible"):
+            list(PcapReader(buffer))
+
+    def test_bad_rate(self, tmp_path):
+        with pytest.raises(PcapError):
+            write_pcap(tmp_path / "x.pcap", [], rate_pps=0)
+
+
+class TestSwappedByteOrder:
+    def test_big_endian_file(self):
+        # Hand-build a byte-swapped capture: magic 0xa1b2c3d4 big-endian.
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 1, 500000, 4, 4) + b"abcd"
+        reader = PcapReader(io.BytesIO(header + record))
+        records = list(reader)
+        assert len(records) == 1
+        assert records[0].data == b"abcd"
+        assert records[0].timestamp == pytest.approx(1.5, abs=1e-6)

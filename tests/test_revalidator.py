@@ -1,0 +1,83 @@
+"""Unit tests for the revalidator (idle eviction + flow-limit pressure)."""
+
+import pytest
+
+from repro.classifier.actions import ALLOW
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.rule import Match
+from repro.exceptions import SwitchError
+from repro.packet.fields import FlowKey
+from repro.switch.datapath import Datapath, DatapathConfig
+from repro.switch.revalidator import REVALIDATE_UNITS_PER_ENTRY, Revalidator
+
+
+@pytest.fixture
+def datapath() -> Datapath:
+    table = FlowTable()
+    table.add_rule(Match(ip_proto=6, tp_dst=80), ALLOW, priority=10, name="allow")
+    table.add_default_deny()
+    return Datapath(table, DatapathConfig(microflow_capacity=0, idle_timeout=10.0))
+
+
+class TestSweeps:
+    def test_tick_respects_period(self, datapath):
+        revalidator = Revalidator(datapath, period=1.0)
+        datapath.process(FlowKey(ip_proto=6, tp_dst=80), now=0.0)
+        assert revalidator.tick(0.5) == []  # before first scheduled sweep
+        revalidator.tick(1.0)
+        assert revalidator.stats.sweeps == 1
+        revalidator.tick(1.5)  # too early for the next one
+        assert revalidator.stats.sweeps == 1
+
+    def test_idle_entries_evicted_after_timeout(self, datapath):
+        revalidator = Revalidator(datapath, period=1.0)
+        datapath.process(FlowKey(ip_proto=6, tp_dst=80), now=0.0)
+        assert revalidator.sweep(9.0) == []  # not yet idle long enough
+        evicted = revalidator.sweep(10.0)
+        assert len(evicted) == 1
+        assert revalidator.stats.evicted_idle == 1
+
+    def test_active_entries_survive(self, datapath):
+        revalidator = Revalidator(datapath, period=1.0)
+        key = FlowKey(ip_proto=6, tp_dst=80)
+        for t in range(0, 30, 5):
+            datapath.process(key, now=float(t))
+            assert revalidator.sweep(float(t)) == []
+        assert datapath.n_megaflows == 1
+
+    def test_invalid_period(self, datapath):
+        with pytest.raises(SwitchError):
+            Revalidator(datapath, period=0)
+
+
+class TestFlowLimitPressure:
+    def test_lru_evicted_above_limit(self):
+        from repro.core.tracegen import bit_inversion_list
+
+        table = FlowTable()
+        table.add_rule(Match(tp_dst=80), ALLOW, priority=10, name="allow")
+        table.add_default_deny()
+        datapath = Datapath(
+            table, DatapathConfig(microflow_capacity=0, max_megaflows=1000)
+        )
+        revalidator = Revalidator(datapath, period=1.0)
+        # Distinct megaflows: one per inverted bit of the allowed value.
+        for i, value in enumerate(bit_inversion_list(80, 16)[1:6]):
+            datapath.process(FlowKey(ip_proto=6, tp_dst=value), now=float(i))
+        # Shrink the limit mid-flight (models revalidator pressure).
+        datapath.config = DatapathConfig(
+            microflow_capacity=0, max_megaflows=3
+        )
+        revalidator.sweep(now=5.0)
+        assert datapath.n_megaflows == 3
+        assert revalidator.stats.evicted_limit == 2
+        # The oldest (LRU) entries went first.
+        remaining = sorted(e.last_used for e in datapath.megaflows.entries())
+        assert remaining == [2.0, 3.0, 4.0]
+
+    def test_work_units_accounting(self, datapath):
+        revalidator = Revalidator(datapath, period=1.0)
+        datapath.process(FlowKey(ip_proto=6, tp_dst=80), now=0.0)
+        assert revalidator.sweep_work_units() == REVALIDATE_UNITS_PER_ENTRY
+        revalidator.sweep(1.0)
+        assert revalidator.stats.work_units == REVALIDATE_UNITS_PER_ENTRY

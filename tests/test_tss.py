@@ -1,0 +1,232 @@
+"""Unit tests for the Tuple Space Search megaflow cache."""
+
+import pytest
+
+from repro.classifier.actions import ALLOW, DENY
+from repro.classifier.tss import ENTRY_BYTES, MASK_BYTES, MegaflowEntry, TupleSpaceSearch
+from repro.exceptions import CacheInvariantError
+from repro.packet.fields import FlowKey, FlowMask
+
+
+def entry(tp_dst_value: int, tp_dst_mask: int = 0xFFFF, action=DENY, **extra) -> MegaflowEntry:
+    mask = FlowMask(tp_dst=tp_dst_mask, **{k: v[1] for k, v in extra.items()})
+    key = FlowKey(tp_dst=tp_dst_value & tp_dst_mask,
+                  **{k: v[0] & v[1] for k, v in extra.items()})
+    return MegaflowEntry(mask=mask, key=key.masked(mask), action=action)
+
+
+class TestInsertLookup:
+    def test_empty_cache_misses(self):
+        cache = TupleSpaceSearch()
+        result = cache.lookup(FlowKey(tp_dst=80))
+        assert not result.hit
+        assert result.masks_inspected == 0
+
+    def test_hit_after_insert(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(80, action=ALLOW))
+        result = cache.lookup(FlowKey(tp_dst=80))
+        assert result.hit
+        assert result.entry.action == ALLOW
+        assert result.masks_inspected == 1
+
+    def test_masked_lookup(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(0x8000, tp_dst_mask=0x8000))  # "top bit set" deny
+        assert cache.lookup(FlowKey(tp_dst=0x8001)).hit
+        assert cache.lookup(FlowKey(tp_dst=0xFFFF)).hit
+        assert not cache.lookup(FlowKey(tp_dst=0x7FFF)).hit
+
+    def test_masks_inspected_counts_scan_position(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(0x8000, tp_dst_mask=0x8000))      # mask 1
+        cache.insert(entry(0x4000, tp_dst_mask=0xC000))      # mask 2
+        cache.insert(entry(0x2000, tp_dst_mask=0xE000))      # mask 3
+        assert cache.lookup(FlowKey(tp_dst=0x9999)).masks_inspected == 1
+        assert cache.lookup(FlowKey(tp_dst=0x4444)).masks_inspected == 2
+        assert cache.lookup(FlowKey(tp_dst=0x2111)).masks_inspected == 3
+        # A full miss inspects every mask.
+        assert cache.lookup(FlowKey(tp_dst=0x0001)).masks_inspected == 3
+
+    def test_duplicate_insert_refreshes(self):
+        cache = TupleSpaceSearch()
+        first = cache.insert(entry(80), now=1.0)
+        second = cache.insert(entry(80), now=5.0)
+        assert second is first
+        assert first.last_used == 5.0
+        assert cache.n_entries == 1
+
+    def test_hits_and_timestamps_update(self):
+        cache = TupleSpaceSearch()
+        stored = cache.insert(entry(80), now=0.0)
+        cache.lookup(FlowKey(tp_dst=80), now=3.0)
+        cache.lookup(FlowKey(tp_dst=80), now=7.0)
+        assert stored.hits == 2
+        assert stored.last_used == 7.0
+
+    def test_stats(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(80))
+        cache.lookup(FlowKey(tp_dst=80))
+        cache.lookup(FlowKey(tp_dst=81))
+        assert cache.stats_hits == 1
+        assert cache.stats_misses == 1
+
+
+class TestInvariants:
+    def test_overlap_rejected_when_checking(self):
+        cache = TupleSpaceSearch(check_invariants=True)
+        cache.insert(entry(0x8000, tp_dst_mask=0x8000))
+        with pytest.raises(CacheInvariantError, match="Inv"):
+            cache.insert(entry(0x8080, tp_dst_mask=0xFFFF))
+
+    def test_disjoint_accepted(self):
+        cache = TupleSpaceSearch(check_invariants=True)
+        cache.insert(entry(0x8000, tp_dst_mask=0x8000))
+        cache.insert(entry(0x4000, tp_dst_mask=0xC000))
+        cache.verify_disjoint()
+
+    def test_verify_disjoint_catches_violation(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(0x8000, tp_dst_mask=0x8000))
+        cache.insert(entry(0x8080, tp_dst_mask=0xFFFF))  # overlapping
+        with pytest.raises(CacheInvariantError):
+            cache.verify_disjoint()
+
+    def test_bad_scan_policy(self):
+        with pytest.raises(CacheInvariantError):
+            TupleSpaceSearch(scan_policy="bogus")
+
+
+class TestRemoveEvict:
+    def test_remove(self):
+        cache = TupleSpaceSearch()
+        stored = cache.insert(entry(80))
+        assert cache.remove(stored)
+        assert cache.n_masks == 0
+        assert not cache.remove(stored)  # second removal is a no-op
+
+    def test_mask_retired_with_last_entry(self):
+        cache = TupleSpaceSearch()
+        a = cache.insert(entry(80))
+        b = cache.insert(entry(81))
+        assert cache.n_masks == 1  # same mask
+        cache.remove(a)
+        assert cache.n_masks == 1
+        cache.remove(b)
+        assert cache.n_masks == 0
+
+    def test_remove_where(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(80, action=ALLOW))
+        cache.insert(entry(81, action=DENY))
+        cache.insert(entry(82, action=DENY))
+        removed = cache.remove_where(lambda e: e.action.is_drop)
+        assert len(removed) == 2
+        assert cache.n_entries == 1
+
+    def test_evict_idle(self):
+        cache = TupleSpaceSearch()
+        old = cache.insert(entry(80), now=0.0)
+        fresh = cache.insert(entry(81), now=0.0)
+        cache.lookup(FlowKey(tp_dst=81), now=9.0)  # refresh `fresh`
+        evicted = cache.evict_idle(now=10.0, idle_timeout=10.0)
+        assert evicted == [old]
+        assert cache.find_entry(fresh)
+
+    def test_flush(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(80))
+        cache.flush()
+        assert cache.n_masks == 0
+        assert cache.n_entries == 0
+        assert not cache.lookup(FlowKey(tp_dst=80)).hit
+
+
+class TestMemoCoherence:
+    """The lookup memo must never change observable results."""
+
+    def test_miss_then_insert_then_hit(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(99))  # non-empty so misses are memoised
+        key = FlowKey(tp_dst=80)
+        assert not cache.lookup(key).hit
+        assert not cache.lookup(key).hit  # memoised miss
+        cache.insert(entry(80, action=ALLOW))
+        assert cache.lookup(key).hit  # memo invalidated by the insert
+
+    def test_hit_then_remove_then_miss(self):
+        cache = TupleSpaceSearch()
+        stored = cache.insert(entry(80))
+        key = FlowKey(tp_dst=80)
+        assert cache.lookup(key).hit
+        cache.remove(stored)
+        assert not cache.lookup(key).hit
+
+    def test_memoised_hit_updates_stats(self):
+        cache = TupleSpaceSearch()
+        stored = cache.insert(entry(80))
+        key = FlowKey(tp_dst=80)
+        for _ in range(5):
+            cache.lookup(key, now=2.0)
+        assert stored.hits == 5
+        assert cache.stats_hits == 5
+
+
+class TestIntrospection:
+    def test_entries_iteration_order(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(0x8000, tp_dst_mask=0x8000))
+        cache.insert(entry(0x4000, tp_dst_mask=0xC000))
+        masks = [e.mask for e in cache.entries()]
+        assert masks == cache.masks()
+
+    def test_entries_for_mask(self):
+        cache = TupleSpaceSearch()
+        stored = cache.insert(entry(80))
+        assert cache.entries_for_mask(stored.mask) == [stored]
+
+    def test_find(self):
+        cache = TupleSpaceSearch()
+        stored = cache.insert(entry(80))
+        assert cache.find(FlowKey(tp_dst=80)) is stored
+        assert cache.find(FlowKey(tp_dst=81)) is None
+
+    def test_probe_mask(self):
+        cache = TupleSpaceSearch()
+        stored = cache.insert(entry(80))
+        assert cache.probe_mask(stored.mask, FlowKey(tp_dst=80)) is stored
+        assert cache.probe_mask(stored.mask, FlowKey(tp_dst=81)) is None
+        assert cache.probe_mask(FlowMask(ip_src=0xFF), FlowKey()) is None
+
+    def test_memory_accounting(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(80))
+        cache.insert(entry(81))
+        assert cache.memory_bytes() == 2 * ENTRY_BYTES + 1 * MASK_BYTES
+
+    def test_repr(self):
+        cache = TupleSpaceSearch()
+        cache.insert(entry(80))
+        assert "1 masks" in repr(cache)
+
+
+class TestHitSortedPolicy:
+    def test_hot_mask_moves_forward(self):
+        cache = TupleSpaceSearch(scan_policy="hit_sorted")
+        cache.RESORT_INTERVAL = 8
+        cold = cache.insert(entry(0x8000, tp_dst_mask=0x8000))
+        hot = cache.insert(entry(0x4000, tp_dst_mask=0xC000))
+        assert cache.masks()[0] == cold.mask
+        for _ in range(64):
+            cache.lookup(FlowKey(tp_dst=0x4000))
+        assert cache.masks()[0] == hot.mask
+
+    def test_lookup_results_unchanged_by_resort(self):
+        cache = TupleSpaceSearch(scan_policy="hit_sorted")
+        cache.RESORT_INTERVAL = 4
+        cache.insert(entry(0x8000, tp_dst_mask=0x8000, action=DENY))
+        cache.insert(entry(0x4000, tp_dst_mask=0xC000, action=ALLOW))
+        for _ in range(32):
+            assert cache.lookup(FlowKey(tp_dst=0x4001)).entry.action == ALLOW
+            assert cache.lookup(FlowKey(tp_dst=0x8001)).entry.action == DENY

@@ -1,0 +1,199 @@
+"""Batch-pipeline benchmarks: throughput and insert-cost regression guards.
+
+Replays the §6.2 General-TSE random attack trace against a detonated
+SipSpDp cache (the co-located §5 trace has already exploded it past
+8,000 masks — the random trace alone saturates at a few hundred masks
+under the default strategy, far below the >=1k-mask regime under test)
+through the datapath twice: once per packet via :meth:`Datapath.process`,
+once in rx-burst batches via :meth:`Datapath.process_batch`.  The batch
+pipeline must be verdict-identical and at least 5x faster in packets per
+second.  A second guard times megaflow inserts at two scales to prove the
+accelerator's amortised append-buffer keeps insert cost linear (the old
+per-insert ``np.insert`` made a detonating attack quadratic).
+
+Results are printed and persisted to ``results/BENCH_batch.json`` so the
+performance trajectory is tracked from this PR onward::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.classifier.actions import ALLOW
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.tss import MegaflowEntry, TupleSpaceSearch
+from repro.core.general import GeneralTraceGenerator
+from repro.core.tracegen import ColocatedTraceGenerator
+from repro.core.usecases import SIPSPDP
+from repro.packet.fields import FlowKey, FlowMask
+from repro.packet.headers import PROTO_TCP
+from repro.switch.datapath import Datapath, DatapathConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+ATTACK_BUDGET = 1000  # §6.2's small budget; explodes SipSpDp past 1k masks
+BATCH_SIZE = 256
+SPEEDUP_FLOOR = 5.0
+ROUNDS = 3
+
+
+def section62_trace(seed: int = 0) -> list[FlowKey]:
+    """The §6.2 random attack trace: uniform keys over the attacked fields."""
+    source = GeneralTraceGenerator(
+        fields=SIPSPDP.allow_fields, base={"ip_proto": PROTO_TCP}, seed=seed
+    )
+    return list(source.keys(ATTACK_BUDGET))
+
+
+def attack_datapath() -> Datapath:
+    # Microflows off: attack traffic thrashes the tiny exact-match cache
+    # anyway, and the contest under measure is the tuple-space scan.
+    return Datapath(SIPSPDP.build_table(), DatapathConfig(microflow_capacity=0))
+
+
+def warmed(keys: list[FlowKey]) -> Datapath:
+    """A datapath with the attack detonated and ``keys`` installed.
+
+    The co-located trace blows the tuple space past 8,000 masks (§5);
+    the replay keys then install their own megaflows on top, so replaying
+    them exercises pure fast-path scans over an exploded mask list.
+    """
+    datapath = attack_datapath()
+    trace = ColocatedTraceGenerator(
+        datapath.flow_table, base={"ip_proto": PROTO_TCP}
+    ).generate()
+    datapath.process_batch(list(trace.keys))
+    datapath.megaflows.shuffle_masks(seed=1)  # steady-state scan order
+    datapath.process_batch(keys)
+    return datapath
+
+
+def _replay_sequential(datapath: Datapath, keys: list[FlowKey]) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        datapath.megaflows._memo.clear()  # measure scans, not the replay memo
+        start = time.perf_counter()
+        for key in keys:
+            datapath.process(key)
+        best = min(best, time.perf_counter() - start)
+    return len(keys) / best
+
+
+def _replay_batch(datapath: Datapath, keys: list[FlowKey]) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        datapath.megaflows._memo.clear()
+        start = time.perf_counter()
+        for offset in range(0, len(keys), BATCH_SIZE):
+            datapath.process_batch(keys[offset : offset + BATCH_SIZE])
+        best = min(best, time.perf_counter() - start)
+    return len(keys) / best
+
+
+def _time_single_mask_inserts(count: int) -> float:
+    """Seconds to install ``count`` entries under one (exact-match) mask."""
+    cache = TupleSpaceSearch()
+    mask = FlowMask(ip_src=0xFFFFFFFF)
+    cache.insert(MegaflowEntry(mask=mask, key=FlowKey(ip_src=0).masked(mask), action=ALLOW))
+    cache.lookup(FlowKey(ip_src=0))  # warm accelerator: inserts take the incremental path
+    start = time.perf_counter()
+    for i in range(1, count):
+        key = FlowKey(ip_src=i)
+        cache.insert(MegaflowEntry(mask=mask, key=key.masked(mask), action=ALLOW))
+    elapsed = time.perf_counter() - start
+    assert cache.lookup(FlowKey(ip_src=count - 1)).hit
+    return elapsed
+
+
+def _publish(payload: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_batch.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nBENCH_batch -> {path}")
+    for key, value in sorted(payload.items()):
+        print(f"  {key}: {value}")
+
+
+def test_batch_replay_speedup():
+    """§6.2 attack replay: process_batch >= 5x process, verdict-identical."""
+    keys = section62_trace()
+
+    sequential_dp = warmed(keys)
+    batch_dp = warmed(keys)
+    n_masks = sequential_dp.n_masks
+    assert n_masks >= 1000, f"workload too small: {n_masks} masks"
+
+    # Verdict equivalence on the replay pass before timing anything.
+    sequential_dp.megaflows._memo.clear()
+    batch_dp.megaflows._memo.clear()
+    expected = [sequential_dp.process(k) for k in keys]
+    got = list(batch_dp.process_batch(keys).verdicts)
+    assert [v.action for v in expected] == [v.action for v in got]
+    assert [v.masks_inspected for v in expected] == [v.masks_inspected for v in got]
+    assert [v.path for v in expected] == [v.path for v in got]
+
+    sequential_pps = _replay_sequential(sequential_dp, keys)
+    batch_pps = _replay_batch(batch_dp, keys)
+    speedup = batch_pps / sequential_pps
+
+    insert_2500 = _time_single_mask_inserts(2_500)
+    insert_10k = _time_single_mask_inserts(10_000)
+    insert_ratio = insert_10k / insert_2500
+
+    _publish(
+        {
+            "workload": "section62-random-replay",
+            "use_case": SIPSPDP.name,
+            "attack_budget_packets": ATTACK_BUDGET,
+            "masks": n_masks,
+            "megaflow_entries": sequential_dp.n_megaflows,
+            "batch_size": BATCH_SIZE,
+            "sequential_pps": round(sequential_pps, 1),
+            "batch_pps": round(batch_pps, 1),
+            "speedup": round(speedup, 2),
+            "insert_2500_seconds": round(insert_2500, 4),
+            "insert_10k_seconds": round(insert_10k, 4),
+            "insert_ratio_10k_vs_2500": round(insert_ratio, 2),
+        }
+    )
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch replay only {speedup:.1f}x sequential "
+        f"({batch_pps:.0f} vs {sequential_pps:.0f} pps at {n_masks} masks)"
+    )
+    # 4x the entries should cost ~4x the time; quadratic behaviour would be
+    # ~16x.  8x leaves headroom for noisy CI boxes while still failing any
+    # O(n) work-per-insert regression resoundingly.
+    assert insert_ratio < 8.0, (
+        f"10k/2.5k single-mask insert time ratio {insert_ratio:.1f} "
+        "suggests super-linear accelerator insert cost"
+    )
+
+
+def test_batch_replay_benchmark(benchmark):
+    """pytest-benchmark hook for the batch replay (trajectory tracking)."""
+    keys = section62_trace()
+    datapath = warmed(keys)
+
+    def replay():
+        datapath.megaflows._memo.clear()
+        total = 0
+        for offset in range(0, len(keys), BATCH_SIZE):
+            total += len(datapath.process_batch(keys[offset : offset + BATCH_SIZE]))
+        return total
+
+    assert benchmark(replay) == len(keys)
+
+
+def test_upcall_storm_batch_matches_flowtable():
+    """Cold-cache batch replay (every packet upcalls) stays transparent."""
+    keys = section62_trace(seed=7)[:200]
+    datapath = attack_datapath()
+    table = FlowTable(rules=list(datapath.flow_table))
+    verdicts = datapath.process_batch(keys)
+    for key, verdict in zip(keys, verdicts):
+        assert verdict.action == table.classify(key)

@@ -20,6 +20,7 @@ from repro.classifier.slowpath import (
 from repro.classifier.tss import (
     ENTRY_BYTES,
     MASK_BYTES,
+    BatchLookupResult,
     MegaflowEntry,
     TssLookupResult,
     TupleSpaceSearch,
@@ -36,6 +37,7 @@ __all__ = [
     "TupleSpaceSearch",
     "MegaflowEntry",
     "TssLookupResult",
+    "BatchLookupResult",
     "ENTRY_BYTES",
     "MASK_BYTES",
     "MicroflowCache",

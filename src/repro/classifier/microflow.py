@@ -10,6 +10,7 @@ victim's packets fall through to the (exploded) megaflow path.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable
 
 from repro.classifier.tss import MegaflowEntry
 from repro.exceptions import ClassifierError
@@ -62,6 +63,21 @@ class MicroflowCache:
     def invalidate(self, entry: MegaflowEntry) -> int:
         """Drop every microflow pointing at ``entry``; return the count."""
         stale = [key for key, cached in self._entries.items() if cached is entry]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def invalidate_many(self, entries: Iterable[MegaflowEntry]) -> int:
+        """Drop microflows pointing at any of ``entries`` in one pass.
+
+        A revalidator sweep can evict hundreds of megaflows at once;
+        calling :meth:`invalidate` per victim rescans this cache per
+        victim, while one identity-set sweep is linear in the cache size.
+        """
+        victims = {id(entry) for entry in entries}
+        if not victims:
+            return 0
+        stale = [key for key, cached in self._entries.items() if id(cached) in victims]
         for key in stale:
             del self._entries[key]
         return len(stale)

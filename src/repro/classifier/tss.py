@@ -22,6 +22,37 @@ sequential scan would (candidates are confirmed against the authoritative
 dicts, so hash collisions cannot change semantics).  A small memo
 additionally short-circuits repeated lookups of identical keys between
 cache mutations, since attack traces are replayed in loops.
+
+Batch pipeline.  :meth:`TupleSpaceSearch.lookup_batch` classifies N keys
+per call the way real software switches do (OVS/DPDK process ~32-packet
+batches): the (N keys x M masks) compound matrix is built in a handful of
+numpy passes — one bitwise-AND + multiply-accumulate per *non-wildcarded
+mask column* (most mask columns are all-zero, so most of the 15-column
+hash collapses away) — and candidate (key, mask) pairs are detected with a
+single gather through a byte-sized membership filter indexed by the *top*
+bits of the compound (the top bits of a multiplicative hash mix every
+input bit; the low bits do not, and IP-prefix attack traffic collides on
+them systematically).  Filter hits are confirmed against the
+authoritative dicts exactly like sequential candidates, so false
+positives cost a dict probe, never a wrong verdict.  Batch results are
+verdict-for-verdict identical to sequential ``lookup`` — same entries,
+same ``masks_inspected``, same statistics and ``hit_sorted`` resort
+cadence (property-tested in ``tests/test_batch.py``).
+
+Accelerator invariants:
+
+* the per-mask dicts are the single source of truth; the accelerator is a
+  pure accelerator — rebuilding it from the dicts at any point must never
+  change observable behaviour;
+* inserts are O(1) amortised: new entry hashes go to an unsorted pending
+  buffer (plus a filter bit) and are merged into the sorted compound
+  array only when the pending buffer outgrows an eighth of it, replacing
+  the old O(n)-copy-per-insert ``np.insert`` scheme that turned a
+  detonating attack into quadratic work;
+* per-mask hash salts are append-only: growth of the salt buffer
+  explicitly preserves already-issued salts, because a salt change would
+  orphan every compound computed under it (entries installed but
+  unfindable by the accelerator).
 """
 
 from __future__ import annotations
@@ -35,7 +66,14 @@ from repro.classifier.actions import Action
 from repro.exceptions import CacheInvariantError
 from repro.packet.fields import FIELD_ORDER, FIELDS, FlowKey, FlowMask
 
-__all__ = ["MegaflowEntry", "TssLookupResult", "TupleSpaceSearch", "ENTRY_BYTES", "MASK_BYTES"]
+__all__ = [
+    "MegaflowEntry",
+    "TssLookupResult",
+    "BatchLookupResult",
+    "TupleSpaceSearch",
+    "ENTRY_BYTES",
+    "MASK_BYTES",
+]
 
 # Memory-footprint estimates per cache object, sized after the OVS kernel
 # datapath structures (struct sw_flow ≈ key + mask ref + stats ≈ 600+ bytes,
@@ -67,6 +105,25 @@ def _to_columns(values: tuple[int, ...]) -> np.ndarray:
     for column, (index, shift) in enumerate(_COLUMN_SPLITS):
         row[column] = (values[index] >> shift) & _U64
     return row
+
+
+def _to_column_matrix(values_list: list[tuple[int, ...]]) -> np.ndarray:
+    """Many canonical value tuples -> (N x columns) uint64 matrix."""
+    rows = np.empty((len(values_list), _N_COLUMNS), dtype=np.uint64)
+    for column, (index, shift) in enumerate(_COLUMN_SPLITS):
+        if shift:
+            rows[:, column] = [(v[index] >> shift) & _U64 for v in values_list]
+        else:
+            rows[:, column] = [v[index] & _U64 for v in values_list]
+    return rows
+
+
+# Candidate filter sizing: one byte per slot, indexed by the top bits of a
+# compound.  Grown whenever the entry count reaches 1/1024 of the slot
+# count, so the expected false-candidate rate stays ~0.1% per (key, mask).
+_FILTER_MIN_LOG2 = 16
+_FILTER_MAX_LOG2 = 24
+_FILTER_LOAD_LOG2 = 10
 
 
 def _row_hash(row: np.ndarray) -> int:
@@ -131,6 +188,37 @@ class TssLookupResult:
         return self.entry is not None
 
 
+@dataclass(frozen=True)
+class BatchLookupResult:
+    """Outcome of one batched TSS lookup, one result per input key.
+
+    Semantically a transcript of running :meth:`TupleSpaceSearch.lookup`
+    over the keys in order — same entries, same ``masks_inspected``, same
+    statistics side effects — produced by the vectorised batch path.
+    """
+
+    results: tuple[TssLookupResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> TssLookupResult:
+        return self.results[index]
+
+    @property
+    def hits(self) -> int:
+        """Number of keys served from the cache."""
+        return sum(1 for r in self.results if r.hit)
+
+    @property
+    def masks_inspected_total(self) -> int:
+        """Total scan work across the batch (cost-model input)."""
+        return sum(r.masks_inspected for r in self.results)
+
+
 class TupleSpaceSearch:
     """The megaflow cache: mask list + per-mask hash tables.
 
@@ -170,9 +258,20 @@ class TupleSpaceSearch:
         self._acc_capacity = 0
         self._acc_mask_buffer: np.ndarray = np.empty((0, _N_COLUMNS), dtype=np.uint64)
         self._acc_salt_buffer: np.ndarray = np.empty(0, dtype=np.uint64)
+        self._acc_salt_rng = np.random.default_rng(0xACCE1)
         self._acc_compounds: np.ndarray = np.empty(0, dtype=np.uint64)
+        # Amortised insert path: fresh compounds accumulate unsorted here
+        # (plus a set for membership and a filter bit) and merge into the
+        # sorted array periodically.
+        self._acc_pending: list[int] = []
+        self._acc_pending_set: set[int] = set()
+        self._acc_filter: np.ndarray = np.zeros(1 << _FILTER_MIN_LOG2, dtype=np.uint8)
+        self._acc_filter_shift = np.uint64(64 - _FILTER_MIN_LOG2)
         self._acc_entries: dict[int, list[tuple[int, MegaflowEntry]]] = {}
         self._mask_index: dict[FlowMask, int] = {}
+        # Bumped whenever scan order or the entry set shrinks/reorders;
+        # batch scanners use it to notice their plan went stale.
+        self._order_seq = 0
         self.stats_hits = 0
         self.stats_misses = 0
 
@@ -205,16 +304,27 @@ class TupleSpaceSearch:
     def _invalidate(self) -> None:
         self._memo.clear()
         self._acc_dirty = True
+        self._order_seq += 1
 
     def _acc_grow(self, needed: int) -> None:
         if needed <= self._acc_capacity:
             return
-        capacity = max(64, self._acc_capacity * 2, needed)
+        old = self._acc_capacity
+        capacity = max(64, old * 2, needed)
         masks = np.zeros((capacity, _N_COLUMNS), dtype=np.uint64)
-        masks[: self._acc_capacity] = self._acc_mask_buffer[: self._acc_capacity]
+        masks[:old] = self._acc_mask_buffer[:old]
         self._acc_mask_buffer = masks
-        rng = np.random.default_rng(0xACCE1)
-        self._acc_salt_buffer = rng.integers(0, 1 << 63, size=capacity, dtype=np.uint64)
+        # Salts are append-only: already-issued salts are copied over and
+        # only the new tail is drawn, so compounds computed under earlier
+        # salts stay valid.  (Regenerating the whole buffer — even from a
+        # fixed seed — silently bets on numpy keeping prefix-stable
+        # generation; a salt change strands every installed entry.)
+        salts = np.empty(capacity, dtype=np.uint64)
+        salts[:old] = self._acc_salt_buffer[:old]
+        salts[old:] = self._acc_salt_rng.integers(
+            0, 1 << 63, size=capacity - old, dtype=np.uint64
+        )
+        self._acc_salt_buffer = salts
         self._acc_capacity = capacity
 
     def _acc_append_mask(self, mask: FlowMask) -> None:
@@ -226,14 +336,76 @@ class TupleSpaceSearch:
     def _acc_append_entry(self, mask: FlowMask, entry: MegaflowEntry) -> None:
         index = self._mask_index[mask]
         compound = (_row_hash(_to_columns(entry.key)) ^ int(self._acc_salt_buffer[index])) & _U64
-        position = int(np.searchsorted(self._acc_compounds, np.uint64(compound)))
-        self._acc_compounds = np.insert(self._acc_compounds, position, np.uint64(compound))
+        self._acc_pending.append(compound)
+        self._acc_pending_set.add(compound)
+        self._acc_filter[compound >> int(self._acc_filter_shift)] = 1
         self._acc_entries.setdefault(compound, []).append((index, entry))
+        if len(self._acc_pending) >= max(64, len(self._acc_compounds) >> 3):
+            self._acc_merge_pending()
+
+    def _acc_merge_pending(self) -> None:
+        """Fold the pending buffer into the sorted compound array.
+
+        Runs every O(n/8) inserts, so each compound is touched O(log n)
+        times over the cache's lifetime — amortised O(1)-ish per insert
+        versus the O(n) copy a per-insert ``np.insert`` would pay.
+        """
+        if self._acc_pending:
+            merged = np.concatenate(
+                [self._acc_compounds, np.asarray(self._acc_pending, dtype=np.uint64)]
+            )
+            merged.sort()
+            self._acc_compounds = merged
+            self._acc_pending.clear()
+            self._acc_pending_set.clear()
+        self._acc_filter_maybe_grow()
+
+    def _acc_filter_maybe_grow(self) -> None:
+        total = len(self._acc_compounds) + len(self._acc_pending)
+        log2 = 64 - int(self._acc_filter_shift)
+        if total << _FILTER_LOAD_LOG2 >= (1 << log2) and log2 < _FILTER_MAX_LOG2:
+            self._acc_filter_rebuild(min(_FILTER_MAX_LOG2, log2 + 2))
+
+    def _acc_filter_rebuild(self, log2: int) -> None:
+        self._acc_filter = np.zeros(1 << log2, dtype=np.uint8)
+        self._acc_filter_shift = np.uint64(64 - log2)
+        if len(self._acc_compounds):
+            self._acc_filter[
+                (self._acc_compounds >> self._acc_filter_shift).astype(np.intp)
+            ] = 1
+        for compound in self._acc_pending:
+            self._acc_filter[compound >> int(self._acc_filter_shift)] = 1
+
+    def _acc_candidates(self, compounds: np.ndarray) -> np.ndarray:
+        """Exact membership of ``compounds`` in the entry-hash set.
+
+        Binary search over the sorted main array; pending (unmerged)
+        compounds are found by filter-gather prefilter plus a set probe
+        per surviving position, so inserts never force a sort here.
+        Used by the sequential scan, where the per-lookup vector is only
+        |M| wide.
+        """
+        main = self._acc_compounds
+        if len(main):
+            positions = np.searchsorted(main, compounds)
+            np.clip(positions, 0, len(main) - 1, out=positions)
+            hits = main[positions] == compounds
+        else:
+            hits = np.zeros(compounds.shape, dtype=bool)
+        if self._acc_pending:
+            maybe = self._acc_filter[
+                (compounds >> self._acc_filter_shift).astype(np.intp)
+            ].view(bool)
+            maybe &= ~hits
+            if maybe.any():
+                pending = self._acc_pending_set
+                for index in np.flatnonzero(maybe).tolist():
+                    if int(compounds[index]) in pending:
+                        hits[index] = True
+        return hits
 
     def _rebuild_accelerator(self) -> None:
         n = len(self._mask_order)
-        self._acc_capacity = 0
-        self._acc_mask_buffer = np.empty((0, _N_COLUMNS), dtype=np.uint64)
         self._acc_grow(max(n, 1))
         self._acc_entries = {}
         self._mask_index = {mask: i for i, mask in enumerate(self._mask_order)}
@@ -246,27 +418,45 @@ class TupleSpaceSearch:
                 compounds.append(compound)
                 self._acc_entries.setdefault(compound, []).append((index, entry))
         self._acc_compounds = np.sort(np.asarray(compounds, dtype=np.uint64))
+        self._acc_pending.clear()
+        self._acc_pending_set.clear()
+        log2 = 64 - int(self._acc_filter_shift)
+        while len(compounds) << _FILTER_LOAD_LOG2 >= (1 << log2) and log2 < _FILTER_MAX_LOG2:
+            log2 = min(_FILTER_MAX_LOG2, log2 + 2)
+        self._acc_filter_rebuild(log2)
         self._acc_dirty = False
 
     # -- core operations -------------------------------------------------------
-    def lookup(self, key: FlowKey, now: float = 0.0) -> TssLookupResult:
-        """Algorithm 1: scan masks, probe each hash, early-exit on hit."""
-        key_values = key.values
+    def _memo_consult(
+        self, key_values: tuple[int, ...], now: float
+    ) -> TssLookupResult | None:
+        """Serve a memoised result (with full hit/miss accounting), or None.
+
+        The single memo protocol shared by :meth:`lookup` and the batch
+        scanner — the batch ≡ sequential invariant requires both paths to
+        consult and account identically.
+        """
         memoised = self._memo.get(key_values)
         if memoised is not None:
             entry = memoised.entry
             if entry is not None:
-                entry.hits += 1
-                entry.last_used = now
-                self.stats_hits += 1
-                self._note_hit(entry.mask)
+                self._register_hit(entry, now)
             else:
                 self.stats_misses += 1
-            return memoised
+        return memoised
 
-        result = self._scan(key, key_values, now)
+    def _memo_store(self, key_values: tuple[int, ...], result: TssLookupResult) -> None:
         if len(self._memo) < self.MEMO_LIMIT and self.scan_policy == "insertion":
             self._memo[key_values] = result
+
+    def lookup(self, key: FlowKey, now: float = 0.0) -> TssLookupResult:
+        """Algorithm 1: scan masks, probe each hash, early-exit on hit."""
+        key_values = key.values
+        memoised = self._memo_consult(key_values, now)
+        if memoised is not None:
+            return memoised
+        result = self._scan(key, key_values, now)
+        self._memo_store(key_values, result)
         return result
 
     def _scan(self, key: FlowKey, key_values: tuple[int, ...], now: float) -> TssLookupResult:
@@ -276,30 +466,76 @@ class TupleSpaceSearch:
             return TssLookupResult(entry=None, masks_inspected=0)
         if self._acc_dirty:
             self._rebuild_accelerator()
-        if not len(self._acc_compounds):
-            self.stats_misses += 1
-            self._note_miss()
+        if not len(self._acc_compounds) and not self._acc_pending:
+            self._register_miss()
             return TssLookupResult(entry=None, masks_inspected=n)
         row = _to_columns(key_values)
         masked = self._acc_mask_buffer[:n] & row
         hashes = (masked * _WEIGHTS).sum(axis=1, dtype=np.uint64)
         compounds = hashes ^ self._acc_salt_buffer[:n]
-        positions = np.searchsorted(self._acc_compounds, compounds)
-        np.clip(positions, 0, len(self._acc_compounds) - 1, out=positions)
-        candidates = self._acc_compounds[positions] == compounds
+        candidates = self._acc_candidates(compounds)
         for index in np.flatnonzero(candidates):
             # Confirm against the authoritative dicts: 64-bit collisions
             # are possible, just rare, and must not change semantics.
             for entry_index, entry in self._acc_entries.get(int(compounds[index]), ()):
                 if entry_index == index and entry.covers(key):
-                    entry.hits += 1
-                    entry.last_used = now
-                    self.stats_hits += 1
-                    self._note_hit(entry.mask)
+                    self._register_hit(entry, now)
                     return TssLookupResult(entry=entry, masks_inspected=int(index) + 1)
+        self._register_miss()
+        return TssLookupResult(entry=None, masks_inspected=n)
+
+    # -- batched lookup --------------------------------------------------------
+    def lookup_batch(self, keys, now: float = 0.0) -> BatchLookupResult:
+        """Classify ``keys`` in one vectorised pass (see module docstring).
+
+        Equivalent to ``[self.lookup(k, now) for k in keys]`` — entry for
+        entry, ``masks_inspected`` for ``masks_inspected``, including memo
+        consultation and ``hit_sorted`` resort cadence — but the (N x M)
+        mask/hash work runs as a handful of numpy operations.
+        """
+        keys = list(keys)
+        scanner = _BatchScanner(self, keys, now)
+        return BatchLookupResult(
+            results=tuple(scanner.result(i) for i in range(len(keys)))
+        )
+
+    def batch_scanner(self, keys: list[FlowKey], now: float = 0.0) -> "_BatchScanner":
+        """A consume-in-order batch scanner (the datapath's level-3 engine).
+
+        Unlike :meth:`lookup_batch` the caller drives it one key at a time
+        and may mutate the cache between keys (slow-path installs); the
+        scanner keeps its vectorised plan coherent — replanning on
+        reorders, checking caller-announced inserts on plan misses.
+        """
+        return _BatchScanner(self, keys, now)
+
+    def _acc_confirm(
+        self, compound: int, index: int, key_values: tuple[int, ...]
+    ) -> MegaflowEntry | None:
+        """Authoritative-dict confirmation of one (compound, mask) candidate."""
+        for entry_index, entry in self._acc_entries.get(compound, ()):
+            if entry_index == index:
+                mask = entry.mask
+                table = self._tables.get(mask)
+                if table is None:
+                    continue
+                if table.get(self._reduce(mask, key_values)) is entry:
+                    return entry
+        return None
+
+    # -- accounting ------------------------------------------------------------
+    def _register_hit(self, entry: MegaflowEntry, now: float) -> None:
+        """Single funnel for every served hit — scan, memo, batch, and
+        single-mask probes all feed the same statistics and the
+        ``hit_sorted`` resort accounting."""
+        entry.hits += 1
+        entry.last_used = now
+        self.stats_hits += 1
+        self._note_hit(entry.mask)
+
+    def _register_miss(self) -> None:
         self.stats_misses += 1
         self._note_miss()
-        return TssLookupResult(entry=None, masks_inspected=n)
 
     def _note_hit(self, mask: FlowMask) -> None:
         if self.scan_policy == "hit_sorted":
@@ -440,15 +676,18 @@ class TupleSpaceSearch:
         return table.get(self._reduce(entry.mask, entry.key)) is entry
 
     def probe_mask(self, mask: FlowMask, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
-        """Probe a single mask's hash table (kernel mask-cache fast path)."""
+        """Probe a single mask's hash table (kernel mask-cache fast path).
+
+        Routed through the shared hit accounting, so under ``hit_sorted``
+        the hottest flows keep influencing the resort order even when the
+        kernel mask memo short-circuits their scans.
+        """
         table = self._tables.get(mask)
         if table is None:
             return None
         entry = table.get(self._reduce(mask, key.values))
         if entry is not None:
-            entry.hits += 1
-            entry.last_used = now
-            self.stats_hits += 1
+            self._register_hit(entry, now)
         return entry
 
     def find(self, key: FlowKey) -> MegaflowEntry | None:
@@ -473,3 +712,146 @@ class TupleSpaceSearch:
 
     def __repr__(self) -> str:
         return f"TupleSpaceSearch({self.n_masks} masks, {self.n_entries} entries)"
+
+
+class _BatchScanner:
+    """Vectorised scan plan over a key sequence, consumed in order.
+
+    The scanner precomputes, for a contiguous chunk of keys, the full
+    (keys x masks) compound matrix and its filter-candidate bitmap, then
+    serves per-key results with sequential-identical bookkeeping.  Three
+    coherence rules keep it honest while the caller mutates the cache
+    between keys:
+
+    * a scan-order change (resort, removal, shuffle, flush) bumps the
+      cache's ``_order_seq``; the scanner replans from the current key;
+    * inserts *announced* via :meth:`note_inserted` are checked on every
+      plan miss — under Inv(2) a snapshot hit can never be preempted by a
+      newer entry, so plan hits stay valid and only misses need the extra
+      check (the datapath announces its slow-path installs);
+    * filter candidates are confirmed against the authoritative dicts, so
+      filter false positives degrade to a few dict probes.
+    """
+
+    # Compound-matrix budget per planning chunk (uint64 elements): caps the
+    # plan at ~32 MB while letting an OVS-sized rx burst plan in one go
+    # even against a fully detonated (8k+ mask) tuple space.
+    CHUNK_ELEMS = 4_000_000
+
+    def __init__(self, tss: TupleSpaceSearch, keys: list[FlowKey], now: float):
+        self.tss = tss
+        self.keys = keys
+        self.now = now
+        self._start = 0
+        self._end = 0
+        self._order_seq = -1
+        self._compounds: np.ndarray | None = None
+        self._cand: np.ndarray | None = None
+        self._has: list[bool] = []
+        self._first: list[int] = []
+        self._first_compound: list[int] = []
+        self._inserted: list[MegaflowEntry] = []
+
+    def note_inserted(self, entry: MegaflowEntry) -> None:
+        """Tell the scanner the caller installed ``entry`` mid-batch."""
+        self._inserted.append(entry)
+
+    def result(self, i: int, now: float | None = None) -> TssLookupResult:
+        """The lookup result for key ``i`` (call with non-decreasing ``i``)."""
+        tss = self.tss
+        if now is not None:
+            self.now = now
+        key = self.keys[i]
+        key_values = key.values
+        memoised = tss._memo_consult(key_values, self.now)
+        if memoised is not None:
+            return memoised
+        result = self._scan_key(i, key, key_values)
+        tss._memo_store(key_values, result)
+        return result
+
+    def _scan_key(
+        self, i: int, key: FlowKey, key_values: tuple[int, ...]
+    ) -> TssLookupResult:
+        tss = self.tss
+        n_now = len(tss._mask_order)
+        if n_now == 0:
+            tss.stats_misses += 1
+            return TssLookupResult(entry=None, masks_inspected=0)
+        if tss._acc_dirty:
+            tss._rebuild_accelerator()
+        if tss._order_seq != self._order_seq or not (self._start <= i < self._end):
+            self._build_plan(i)
+        j = i - self._start
+        if self._has[j]:
+            index = self._first[j]
+            hit = tss._acc_confirm(self._first_compound[j], index, key_values)
+            if hit is None:
+                # Filter false positive: walk the remaining candidates.
+                for index in np.flatnonzero(self._cand[j]).tolist():
+                    if index <= self._first[j]:
+                        continue
+                    hit = tss._acc_confirm(
+                        int(self._compounds[j, index]), index, key_values
+                    )
+                    if hit is not None:
+                        break
+            if hit is not None:
+                tss._register_hit(hit, self.now)
+                return TssLookupResult(entry=hit, masks_inspected=index + 1)
+        # Plan says miss: only entries installed after the plan snapshot
+        # can change that (Inv(2): at most one installed entry covers any
+        # key, so a snapshot hit cannot be preempted).
+        for entry in self._inserted:
+            if entry.covers(key):
+                position = tss._mask_index.get(entry.mask)
+                if position is None:
+                    position = tss._mask_order.index(entry.mask)
+                tss._register_hit(entry, self.now)
+                return TssLookupResult(entry=entry, masks_inspected=position + 1)
+        tss._register_miss()
+        return TssLookupResult(entry=None, masks_inspected=n_now)
+
+    def _build_plan(self, start: int) -> None:
+        """Vectorised compound/candidate computation for keys[start:end]."""
+        tss = self.tss
+        n = len(tss._mask_order)
+        chunk = max(32, self.CHUNK_ELEMS // max(n, 1))
+        end = min(len(self.keys), start + chunk)
+        values_list = [k.values for k in self.keys[start:end]]
+        rows = _to_column_matrix(values_list)
+        mask_buffer = tss._acc_mask_buffer
+        # Most mask columns are fully wildcarded across the whole tuple
+        # space; their AND/MUL terms are identically zero and are skipped.
+        columns = np.flatnonzero(mask_buffer[:n].any(axis=0)).tolist()
+        shape = (len(values_list), n)
+        if not columns:
+            acc = np.zeros(shape, dtype=np.uint64)
+        else:
+            first_col = columns[0]
+            acc = np.bitwise_and(rows[:, first_col, None], mask_buffer[None, :n, first_col])
+            acc *= _WEIGHTS[first_col]
+            if len(columns) > 1:
+                scratch = np.empty(shape, dtype=np.uint64)
+                for column in columns[1:]:
+                    np.bitwise_and(
+                        rows[:, column, None],
+                        mask_buffer[None, :n, column],
+                        out=scratch,
+                    )
+                    scratch *= _WEIGHTS[column]
+                    acc += scratch
+        acc ^= tss._acc_salt_buffer[None, :n]
+        cand = tss._acc_filter[(acc >> tss._acc_filter_shift).astype(np.intp)].view(bool)
+        has = cand.any(axis=1)
+        first = np.where(has, cand.argmax(axis=1), 0)
+        first_compound = acc[np.arange(len(values_list)), first]
+        self._start = start
+        self._end = end
+        self._order_seq = tss._order_seq
+        self._compounds = acc
+        self._cand = cand
+        self._has = has.tolist()
+        self._first = first.tolist()
+        self._first_compound = first_compound.tolist()
+        self._inserted.clear()

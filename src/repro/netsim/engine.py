@@ -52,12 +52,17 @@ class Simulation:
         """Advance the simulation by ``duration`` seconds."""
         if duration < 0:
             raise SimulationError(f"duration must be >= 0, got {duration}")
-        end = self.now + duration
-        # Guard against float drift: compute tick count up front.
-        ticks = round((end - self.now) / self.dt)
-        for _ in range(ticks):
+        # Guard against float drift twice over: the tick count is computed
+        # up front, and each timestamp is derived as start + i * dt rather
+        # than accumulated with repeated `now += dt` (whose rounding error
+        # compounds over long runs and skews the `now` comparisons behind
+        # the 10 s idle-eviction recoveries of Fig. 8a/8b).
+        start = self.now
+        ticks = round(duration / self.dt)
+        for i in range(ticks):
+            self.now = start + i * self.dt
             for component in self._components:
                 component.tick(self.now, self.dt)
             for observer in self._observers:
                 observer(self.now)
-            self.now += self.dt
+        self.now = start + ticks * self.dt

@@ -40,12 +40,19 @@ class ActiveWindow:
 class AttackSource:
     """Replays an adversarial trace at a fixed packet rate.
 
+    Each tick's packets are injected in rx-burst-sized batches through
+    :meth:`HypervisorHost.inject_attack_batch`, mirroring how DPDK/OVS
+    pull ~32-packet bursts off the NIC; semantics are identical to
+    per-packet injection (the batched datapath is verdict-equivalent),
+    only the per-packet Python overhead is amortised.
+
     Args:
         host: the hypervisor under attack.
         keys: the trace (looped when exhausted, like ``tcpreplay --loop``).
         pps: packet rate while active.
         windows: activity intervals; always active when empty.
         name: label for metrics.
+        batch_size: packets per injected batch (OVS-like 32 by default).
     """
 
     def __init__(
@@ -57,13 +64,17 @@ class AttackSource:
         name: str = "attacker",
         loop: bool = True,
         key_stream: Iterator[FlowKey] | None = None,
+        batch_size: int = 32,
     ):
         if pps < 0:
             raise SimulationError(f"pps must be >= 0, got {pps}")
+        if batch_size < 1:
+            raise SimulationError(f"batch_size must be >= 1, got {batch_size}")
         self.host = host
         self.pps = pps
         self.windows = tuple(windows)
         self.name = name
+        self.batch_size = batch_size
         if key_stream is not None:
             self._iter: Iterator[FlowKey] = key_stream
         else:
@@ -95,12 +106,14 @@ class AttackSource:
         to_send = int(self._carry)
         self._carry -= to_send
         sent = 0
-        for _ in range(to_send):
-            key = next(self._iter, None)
-            if key is None:
+        while sent < to_send:
+            batch = list(
+                itertools.islice(self._iter, min(self.batch_size, to_send - sent))
+            )
+            if not batch:
                 break
-            self.host.inject_attack(key, now)
-            sent += 1
+            self.host.inject_attack_batch(batch, now)
+            sent += len(batch)
         self.packets_sent += sent
         self.current_pps = sent / dt if dt else 0.0
 

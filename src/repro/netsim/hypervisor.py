@@ -21,6 +21,7 @@ DESIGN.md substitution table documents.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.classifier.tss import MegaflowEntry
 from repro.core.mitigation import MFCGuard
@@ -130,10 +131,36 @@ class HypervisorHost:
             self._slow_path_packets += 1
         return verdict
 
+    def inject_attack_batch(self, keys: Sequence[FlowKey], now: float) -> list[PacketVerdict]:
+        """Classify one batch of attack packets; account the batch's cost.
+
+        Equivalent to ``[self.inject_attack(k, now) for k in keys]`` —
+        same verdicts, same units charged (each packet pays for the mask
+        count it actually saw, via :class:`BatchVerdicts.mask_counts`) —
+        but the datapath work runs through the batched pipeline and the
+        cost curve is evaluated per distinct mask count, not per packet.
+        """
+        batch = self.datapath.process_batch(keys, now=now)
+        scan_counts: list[int] = []
+        upcalls = 0
+        mask_cache_hits = 0
+        for verdict, masks_before in zip(batch.verdicts, batch.mask_counts):
+            if verdict.path is PathTaken.MASK_CACHE:
+                mask_cache_hits += 1  # single-table probe, one unit each
+                continue
+            scan_counts.append(masks_before)
+            if verdict.is_upcall:
+                upcalls += 1
+        self._attack_units += mask_cache_hits * 1.0
+        self._attack_units += self.cost_model.attack_units_batch(scan_counts, upcalls)
+        self._upcalls += upcalls
+        self._slow_path_packets += upcalls
+        return list(batch.verdicts)
+
     def keepalive(self, name: str, now: float) -> list[PacketVerdict]:
         """Send a victim's keepalive packets (keeps cache entries genuine)."""
         state = self._state(name)
-        return [self.datapath.process(key, now=now) for key in state.keys]
+        return list(self.datapath.process_batch(state.keys, now=now).verdicts)
 
     def victim_started(self, name: str, now: float) -> None:
         state = self._state(name)

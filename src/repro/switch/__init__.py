@@ -2,7 +2,13 @@
 
 from repro.switch.calibration import CurveParams, fit_profile, fraction_of_baseline
 from repro.switch.costmodel import CostModel, SlowPathModel
-from repro.switch.datapath import Datapath, DatapathConfig, PacketVerdict, PathTaken
+from repro.switch.datapath import (
+    BatchVerdicts,
+    Datapath,
+    DatapathConfig,
+    PacketVerdict,
+    PathTaken,
+)
 from repro.switch.dpctl import dump_flows, format_flow, mask_histogram, show
 from repro.switch.maskcache import KernelMaskCache
 from repro.switch.offload import (
@@ -19,6 +25,7 @@ __all__ = [
     "Datapath",
     "DatapathConfig",
     "PacketVerdict",
+    "BatchVerdicts",
     "PathTaken",
     "KernelMaskCache",
     "Revalidator",

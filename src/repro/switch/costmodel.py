@@ -16,6 +16,7 @@ bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.exceptions import SwitchError
 from repro.switch.calibration import CurveParams, fit_profile
@@ -135,6 +136,27 @@ class CostModel:
         if upcall:
             cost += self.upcall_units
         return cost
+
+    def attack_units_batch(self, mask_counts: Sequence[int], upcall_count: int) -> float:
+        """Total attack cost of one batch, charged in one call.
+
+        ``mask_counts`` carries the mask count each packet saw (they grow
+        mid-batch as upcalls install masks); within a batch only a handful
+        of distinct counts occur, so the calibrated curve is evaluated once
+        per distinct count instead of once per packet.
+        """
+        if upcall_count < 0:
+            raise SwitchError(f"upcall_count must be >= 0, got {upcall_count}")
+        per_count: dict[int, float] = {}
+        total = 0.0
+        for masks in mask_counts:
+            masks = max(masks, 1)
+            cost = per_count.get(masks)
+            if cost is None:
+                cost = self.attack_cost_scale * self.params.relative_cost(masks)
+                per_count[masks] = cost
+            total += cost
+        return total + upcall_count * self.upcall_units
 
     def revalidation_units_per_sec(self, n_entries: int, period: float) -> float:
         """Fast-path budget burned by revalidating ``n_entries`` per sweep."""

@@ -16,6 +16,8 @@ environment profile; an ablation benchmark flips it.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.exceptions import SwitchError
 from repro.packet.fields import FlowKey, FlowMask
 
@@ -60,9 +62,16 @@ class KernelMaskCache:
 
     def invalidate_mask(self, mask: FlowMask) -> int:
         """Drop every slot pointing at ``mask``; returns the count."""
+        return self.invalidate_masks((mask,))
+
+    def invalidate_masks(self, masks: Iterable[FlowMask]) -> int:
+        """Drop every slot pointing at any of ``masks`` in one pass."""
+        victims = set(masks)
+        if not victims:
+            return 0
         dropped = 0
         for index, slot in enumerate(self._slots):
-            if slot is not None and slot[1] == mask:
+            if slot is not None and slot[1] in victims:
                 self._slots[index] = None
                 dropped += 1
         return dropped

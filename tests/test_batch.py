@@ -1,0 +1,301 @@
+"""Differential tests: the batch pipeline ≡ the sequential pipeline.
+
+The batched datapath is an optimisation, never a semantic change: for any
+rule set, traffic mix, scan policy, and mid-stream cache churn, running a
+key sequence through ``lookup_batch``/``process_batch`` must produce the
+same entries, ``masks_inspected``, verdicts, statistics, and installed
+megaflows as the per-key path.  These tests drive both pipelines over
+random inputs (hypothesis plus seeded fuzz) and compare transcripts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.classifier.actions import ALLOW, DENY
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.rule import FlowRule, Match
+from repro.classifier.slowpath import MegaflowGenerator
+from repro.classifier.tss import TupleSpaceSearch
+from repro.packet.fields import FIELDS, FlowKey
+from repro.switch.datapath import Datapath, DatapathConfig
+
+FIELD_POOL = ("ip_src", "ip_dst", "tp_src", "tp_dst", "ip_proto")
+
+
+# -- strategies -----------------------------------------------------------------
+
+@st.composite
+def prefix_constraints(draw):
+    name = draw(st.sampled_from(FIELD_POOL))
+    width = FIELDS[name].width
+    plen = draw(st.integers(min_value=1, max_value=width))
+    mask = ((1 << plen) - 1) << (width - plen)
+    value = draw(st.integers(min_value=0, max_value=(1 << width) - 1)) & mask
+    return name, value, mask
+
+
+@st.composite
+def rule_sets(draw, max_rules=6):
+    n = draw(st.integers(min_value=1, max_value=max_rules))
+    rules = []
+    for index in range(n):
+        constraints = {}
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            name, value, mask = draw(prefix_constraints())
+            constraints[name] = (value, mask)
+        action = ALLOW if draw(st.booleans()) else DENY
+        priority = draw(st.integers(min_value=0, max_value=5))
+        rules.append(FlowRule(Match(**constraints), action, priority=priority, name=f"r{index}"))
+    rules.append(FlowRule(Match.any(), DENY, priority=-1, name="default"))
+    return rules
+
+
+@st.composite
+def flow_keys(draw):
+    kwargs = {}
+    for name in FIELD_POOL:
+        width = FIELDS[name].width
+        kwargs[name] = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    return FlowKey(**kwargs)
+
+
+def assert_results_equal(sequential, batched):
+    assert len(sequential) == len(batched)
+    for i, (a, b) in enumerate(zip(sequential, batched)):
+        assert a.masks_inspected == b.masks_inspected, (
+            f"key {i}: masks_inspected {a.masks_inspected} != {b.masks_inspected}"
+        )
+        assert (a.entry is None) == (b.entry is None), f"key {i}: hit mismatch"
+        if a.entry is not None:
+            assert a.entry.mask == b.entry.mask and a.entry.key == b.entry.key, f"key {i}"
+
+
+def assert_caches_equal(a: TupleSpaceSearch, b: TupleSpaceSearch):
+    assert a.masks() == b.masks()
+    assert sorted((e.mask.values, e.key) for e in a.entries()) == sorted(
+        (e.mask.values, e.key) for e in b.entries()
+    )
+    assert a.stats_hits == b.stats_hits
+    assert a.stats_misses == b.stats_misses
+
+
+# -- lookup_batch ≡ lookup ------------------------------------------------------
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rules=rule_sets(),
+    keys=st.lists(flow_keys(), min_size=1, max_size=30),
+    policy=st.sampled_from(["insertion", "hit_sorted"]),
+    resort_interval=st.integers(min_value=2, max_value=16),
+)
+def test_lookup_batch_equivalent(rules, keys, policy, resort_interval):
+    """lookup_batch ≡ sequential lookup, both scan policies."""
+    table = FlowTable(rules=rules)
+    generator = MegaflowGenerator(table)
+
+    def build():
+        cache = TupleSpaceSearch(scan_policy=policy)
+        cache.RESORT_INTERVAL = resort_interval
+        for key in keys:
+            cache.insert(generator.generate(key).entry)
+        return cache
+
+    # Replay the keys (now all hits) plus the keys again (memo / resort
+    # interplay) through both paths.
+    replay = list(keys) + list(keys)
+    a, b = build(), build()
+    sequential = [a.lookup(k, now=1.0) for k in replay]
+    batched = b.lookup_batch(replay, now=1.0)
+    assert_results_equal(sequential, list(batched))
+    assert_caches_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rules=rule_sets(),
+    keys=st.lists(flow_keys(), min_size=4, max_size=24),
+    policy=st.sampled_from(["insertion", "hit_sorted"]),
+    drop_every=st.integers(min_value=2, max_value=5),
+)
+def test_lookup_batch_equivalent_with_churn(rules, keys, policy, drop_every):
+    """Equivalence holds across mid-stream inserts and removals of masks."""
+    table = FlowTable(rules=rules)
+    generator = MegaflowGenerator(table)
+
+    def run(batched: bool):
+        cache = TupleSpaceSearch(scan_policy=policy)
+        cache.RESORT_INTERVAL = 8
+        transcript = []
+        installed = []
+        for round_no in range(3):
+            # Phase: install entries for a rotating subset of the keys.
+            for key in keys[round_no::3]:
+                installed.append(cache.insert(generator.generate(key).entry))
+            # Phase: look everything up (batch vs per-key).
+            if batched:
+                transcript.extend(cache.lookup_batch(keys, now=float(round_no)))
+            else:
+                transcript.extend(cache.lookup(k, now=float(round_no)) for k in keys)
+            # Phase: remove every drop_every-th installed entry (retires
+            # masks when their table empties, invalidating the accelerator).
+            for victim in installed[::drop_every]:
+                cache.remove(victim)
+        return transcript, cache
+
+    seq_transcript, seq_cache = run(batched=False)
+    batch_transcript, batch_cache = run(batched=True)
+    assert_results_equal(seq_transcript, batch_transcript)
+    assert_caches_equal(seq_cache, batch_cache)
+
+
+def test_lookup_batch_empty_and_trivial():
+    cache = TupleSpaceSearch()
+    assert len(cache.lookup_batch([])) == 0
+    result = cache.lookup_batch([FlowKey(tp_dst=80)])
+    assert not result[0].hit and result[0].masks_inspected == 0
+    assert result.hits == 0 and result.masks_inspected_total == 0
+
+
+# -- process_batch ≡ process ----------------------------------------------------
+
+def _mixed_traffic(rules, seed, count):
+    """Traffic that exercises every level: repeats, fresh flows, noise."""
+    rng = np.random.default_rng(seed)
+    base = [
+        FlowKey(
+            ip_src=int(rng.integers(0, 1 << 32)),
+            ip_dst=int(rng.integers(0, 1 << 32)),
+            tp_src=int(rng.integers(0, 1 << 16)),
+            tp_dst=int(rng.integers(0, 1 << 16)),
+            ip_proto=6,
+        )
+        for _ in range(max(4, count // 8))
+    ]
+    keys = []
+    for _ in range(count):
+        if rng.random() < 0.55:
+            keys.append(base[int(rng.integers(0, len(base)))])
+        else:
+            keys.append(
+                FlowKey(
+                    ip_src=int(rng.integers(0, 1 << 32)),
+                    ip_dst=int(rng.integers(0, 1 << 32)),
+                    tp_src=int(rng.integers(0, 1 << 16)),
+                    tp_dst=int(rng.integers(0, 1 << 16)),
+                    ip_proto=6,
+                )
+            )
+    return keys
+
+
+STATS_FIELDS = (
+    "packets",
+    "microflow_hits",
+    "mask_cache_hits",
+    "megaflow_hits",
+    "upcalls",
+    "installs",
+    "install_rejected",
+    "dead_entry_suppressed",
+    "masks_inspected_total",
+)
+
+
+def assert_datapaths_equal(a: Datapath, b: Datapath):
+    for field in STATS_FIELDS:
+        assert getattr(a.stats, field) == getattr(b.stats, field), field
+    assert a.megaflows.masks() == b.megaflows.masks()
+    assert sorted((e.mask.values, e.key) for e in a.megaflows.entries()) == sorted(
+        (e.mask.values, e.key) for e in b.megaflows.entries()
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rules=rule_sets(),
+    seed=st.integers(min_value=0, max_value=2**31),
+    microflow=st.sampled_from([0, 8]),
+    mask_cache=st.booleans(),
+    batch_size=st.integers(min_value=1, max_value=17),
+)
+def test_process_batch_equivalent(rules, seed, microflow, mask_cache, batch_size):
+    """process_batch ≡ sequential process across cache configurations."""
+
+    def mk():
+        return Datapath(
+            FlowTable(rules=list(rules)),
+            DatapathConfig(
+                microflow_capacity=microflow,
+                enable_mask_cache=mask_cache,
+                mask_cache_size=8,
+            ),
+        )
+
+    keys = _mixed_traffic(rules, seed, 60)
+    a, b = mk(), mk()
+    sequential = [a.process(k, now=1.0) for k in keys]
+    batched = []
+    for start in range(0, len(keys), batch_size):
+        batch = b.process_batch(keys[start : start + batch_size], now=1.0)
+        batched.extend(batch.verdicts)
+    assert len(sequential) == len(batched)
+    for i, (x, y) in enumerate(zip(sequential, batched)):
+        assert x.action == y.action, i
+        assert x.path == y.path, i
+        assert x.masks_inspected == y.masks_inspected, i
+        assert x.rules_examined == y.rules_examined, i
+        assert (x.installed is None) == (y.installed is None), i
+    assert_datapaths_equal(a, b)
+
+
+def test_process_batch_mask_counts_track_installs():
+    """mask_counts reports the pre-packet mask count, growing mid-batch."""
+    table = FlowTable()
+    table.add_rule(Match(tp_dst=(80, 0xFFFF)), ALLOW, priority=1, name="allow-80")
+    table.add_default_deny()
+    datapath = Datapath(table, DatapathConfig(microflow_capacity=0))
+    keys = [FlowKey(tp_dst=80, ip_proto=6), FlowKey(tp_dst=81, ip_proto=6)]
+    batch = datapath.process_batch(keys)
+    assert batch.mask_counts[0] == 0  # cold cache
+    assert batch.mask_counts[1] >= 1  # first packet's install is visible
+    assert len(batch) == 2 and batch.upcalls >= 1
+
+
+def test_process_batch_duplicate_keys_hit_microflow():
+    """A batch of duplicates must hit the microflow its first packet installs."""
+    table = FlowTable()
+    table.add_default_deny()
+    datapath = Datapath(table, DatapathConfig(microflow_capacity=16))
+    key = FlowKey(tp_dst=443, ip_proto=6)
+    batch = datapath.process_batch([key, key, key])
+    paths = [v.path.value for v in batch.verdicts]
+    assert paths[0] == "slow_path"
+    assert paths[1] == "microflow" and paths[2] == "microflow"
+
+
+# -- hypervisor batch accounting -------------------------------------------------
+
+def test_inject_attack_batch_charges_like_sequential():
+    from repro.netsim.hypervisor import HypervisorHost
+    from repro.switch.costmodel import CostModel
+
+    table_rules = [
+        FlowRule(Match(tp_dst=(80, 0xFFFF)), ALLOW, priority=1, name="allow-80"),
+        FlowRule(Match.any(), DENY, priority=-1, name="default"),
+    ]
+
+    def mk():
+        datapath = Datapath(FlowTable(rules=list(table_rules)), DatapathConfig())
+        return HypervisorHost(datapath, CostModel())
+
+    keys = _mixed_traffic(table_rules, seed=3, count=64)
+    a, b = mk(), mk()
+    va = [a.inject_attack(k, now=0.0) for k in keys]
+    vb = b.inject_attack_batch(keys, now=0.0)
+    assert [v.action for v in va] == [v.action for v in vb]
+    assert [v.path for v in va] == [v.path for v in vb]
+    assert a._upcalls == b._upcalls
+    assert abs(a._attack_units - b._attack_units) < 1e-6 * max(1.0, a._attack_units)

@@ -68,6 +68,39 @@ class TestSimulation:
         sim.run(3.0)
         assert len(recorder.ticks) == 30  # exactly, despite 0.1 imprecision
 
+    def test_timestamps_exact_over_long_runs(self):
+        """now must be derived (start + i*dt), not accumulated (+= dt).
+
+        Accumulated 0.1 rounding error grows past 1e-9 s within a few
+        thousand ticks, which is enough to flip `now - last_used >=
+        idle_timeout` comparisons at the 10 s eviction boundary.
+        """
+
+        class Stamps:
+            def __init__(self):
+                self.times = []
+
+            def tick(self, now, dt):
+                self.times.append(now)
+
+        sim = Simulation(dt=0.1)
+        stamps = Stamps()
+        sim.add(stamps)
+        sim.run(500.0)  # 5000 ticks
+        assert len(stamps.times) == 5000
+        # Bit-exact against direct derivation — no accumulated drift.
+        assert stamps.times == [i * 0.1 for i in range(5000)]
+        assert sim.now == 5000 * 0.1
+
+    def test_timestamps_exact_across_resumed_runs(self):
+        sim = Simulation(dt=0.1)
+        recorder = Recorder()
+        sim.add(recorder)
+        for _ in range(50):
+            sim.run(1.0)
+        assert len(recorder.ticks) == 500
+        assert sim.now <= 50.0 + 1e-9  # resumed runs may round, never drift far
+
     def test_validation(self):
         with pytest.raises(SimulationError):
             Simulation(dt=0)

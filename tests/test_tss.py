@@ -211,6 +211,61 @@ class TestIntrospection:
         assert "1 masks" in repr(cache)
 
 
+class TestAcceleratorGrowth:
+    """The accelerator must keep finding old entries as its buffers grow."""
+
+    def test_salts_preserved_across_capacity_doublings(self):
+        cache = TupleSpaceSearch()
+        installed = []
+        # One distinct mask per entry so each insert consumes a salt slot;
+        # 600 masks forces several capacity doublings (64 -> 128 -> ... -> 1024).
+        for i in range(600):
+            mask = FlowMask(ip_src=0xFFFFFFFF, tp_src=i + 1)
+            key = FlowKey(ip_src=i + 1, tp_src=0xFFFF, tp_dst=(i % 7) + 1)
+            cache.insert(MegaflowEntry(mask=mask, key=key.masked(mask), action=ALLOW))
+            installed.append(key)
+            cache.lookup(key)  # keep the accelerator warm (incremental path)
+            if cache.n_masks in (65, 129, 257, 513):
+                # Just crossed a doubling: every earlier entry must still be
+                # found by the accelerator (a regenerated salt would orphan
+                # its compound — lookup would miss while find() still hits).
+                cache._memo.clear()
+                for old_key in installed:
+                    result = cache.lookup(old_key)
+                    assert result.hit, f"entry lost after growing to {cache.n_masks} masks"
+                    assert cache.find(old_key) is result.entry
+        assert cache.n_masks == 600  # sanity: growth actually happened
+
+    def test_salt_buffer_prefix_stable(self):
+        import numpy as np
+
+        cache = TupleSpaceSearch()
+        cache.insert(entry(80))
+        cache.lookup(FlowKey(tp_dst=80))  # builds the accelerator
+        before = cache._acc_salt_buffer[: cache._acc_capacity].copy()
+        cache._acc_grow(cache._acc_capacity * 4)
+        after = cache._acc_salt_buffer[: len(before)]
+        assert np.array_equal(before, after)
+
+    def test_amortised_inserts_stay_searchable(self):
+        """Pending (unmerged) compounds must be visible to lookups."""
+        cache = TupleSpaceSearch()
+        mask_kwargs = dict(ip_src=0xFFFFFFFF)
+        entries = []
+        for i in range(500):
+            mask = FlowMask(**mask_kwargs)
+            key = FlowKey(ip_src=i + 1)
+            e = MegaflowEntry(mask=mask, key=key.masked(mask), action=ALLOW)
+            cache.insert(e)
+            entries.append(key)
+            # Immediately visible, merged or pending:
+            cache._memo.clear()
+            assert cache.lookup(key).hit
+        cache._memo.clear()
+        for key in entries:
+            assert cache.lookup(key).hit
+
+
 class TestHitSortedPolicy:
     def test_hot_mask_moves_forward(self):
         cache = TupleSpaceSearch(scan_policy="hit_sorted")

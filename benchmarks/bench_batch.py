@@ -20,6 +20,7 @@ performance trajectory is tracked from this PR onward::
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -35,10 +36,15 @@ from repro.switch.datapath import Datapath, DatapathConfig
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-ATTACK_BUDGET = 1000  # §6.2's small budget; explodes SipSpDp past 1k masks
+# REPRO_BENCH_SMOKE=1 (CI) shrinks the replay and timing rounds — the
+# guards still bite (the SipSpDp detonation dominates the mask count),
+# they just stop dominating CI wall-clock.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+ATTACK_BUDGET = 400 if SMOKE else 1000  # §6.2's small budget; explodes SipSpDp past 1k masks
 BATCH_SIZE = 256
 SPEEDUP_FLOOR = 5.0
-ROUNDS = 3
+ROUNDS = 1 if SMOKE else 3
 
 
 def section62_trace(seed: int = 0) -> list[FlowKey]:

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.core.detector import find_tse_entries
 from repro.exceptions import ExperimentError
 from repro.switch.costmodel import SlowPathModel
-from repro.switch.datapath import Datapath
+from repro.switch.sharded import AnyDatapath
 
 __all__ = ["MFCGuardConfig", "GuardReport", "MFCGuard"]
 
@@ -69,15 +69,21 @@ class GuardReport:
 class MFCGuard:
     """The monitoring/eviction daemon of §8, bound to one datapath.
 
+    On a sharded (multi-PMD) datapath the guard reads the aggregate
+    distinct-mask count (what ``ovs-dpctl show`` reports) and cleans each
+    shard's cache in turn — the CPU budget check runs after every rule on
+    every shard, since demoted traffic from all cores funnels into the one
+    shared slow-path daemon.
+
     Args:
-        datapath: the switch to guard.
+        datapath: the switch to guard (plain or sharded).
         config: thresholds and cadence.
         slow_path_model: upcall-rate → CPU%% model (Fig. 9c calibration).
     """
 
     def __init__(
         self,
-        datapath: Datapath,
+        datapath: AnyDatapath,
         config: MFCGuardConfig | None = None,
         slow_path_model: SlowPathModel | None = None,
     ):
@@ -93,8 +99,8 @@ class MFCGuard:
     def tick(self, now: float) -> GuardReport:
         """Run Algorithm 2 if the 10-second cadence has elapsed."""
         if now < self._next_run:
-            return GuardReport(ran=False, masks_before=self.datapath.n_masks,
-                               masks_after=self.datapath.n_masks)
+            masks = self.datapath.n_masks  # one aggregate snapshot, not two
+            return GuardReport(ran=False, masks_before=masks, masks_after=masks)
         self._next_run = now + self.config.period
         return self.run(now)
 
@@ -111,23 +117,26 @@ class MFCGuard:
         deleted = 0
         cleaned: list[str] = []
         stopped = False
-        patterns = find_tse_entries(self.datapath.megaflows, self.datapath.flow_table)
-        for pattern in patterns:
-            # Delete this rule's adversarial entries (drop-only by
-            # construction of the detector).
-            rate = 0.0
-            for entry in pattern.entries:
-                age = max(now - entry.created_at, self.config.period)
-                rate += entry.hits / age
-                self.datapath.kill_entry(entry, permanent=self.config.permanent_delete)
-                deleted += 1
-            cleaned.append(pattern.rule.name or repr(pattern.rule.match))
-            self._demoted_pps += rate
+        for shard in self.datapath.shards:
+            patterns = find_tse_entries(shard.megaflows, self.datapath.flow_table)
+            for pattern in patterns:
+                # Delete this rule's adversarial entries (drop-only by
+                # construction of the detector).
+                rate = 0.0
+                for entry in pattern.entries:
+                    age = max(now - entry.created_at, self.config.period)
+                    rate += entry.hits / age
+                    shard.kill_entry(entry, permanent=self.config.permanent_delete)
+                    deleted += 1
+                cleaned.append(pattern.rule.name or repr(pattern.rule.match))
+                self._demoted_pps += rate
 
-            # Line 9-12: re-check CPU after each rule's cleanup.
-            cpu = self.projected_cpu_pct()
-            if cpu >= self.config.cpu_threshold_pct:
-                stopped = True
+                # Line 9-12: re-check CPU after each rule's cleanup.
+                cpu = self.projected_cpu_pct()
+                if cpu >= self.config.cpu_threshold_pct:
+                    stopped = True
+                    break
+            if stopped:
                 break
 
         self.total_deleted += deleted
@@ -136,7 +145,7 @@ class MFCGuard:
             masks_before=masks_before,
             masks_after=self.datapath.n_masks,
             entries_deleted=deleted,
-            rules_cleaned=tuple(cleaned),
+            rules_cleaned=tuple(dict.fromkeys(cleaned)),
             projected_cpu_pct=self.projected_cpu_pct(),
             stopped_by_cpu=stopped,
         )

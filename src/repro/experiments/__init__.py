@@ -7,7 +7,8 @@ them from the command line::
     python -m repro.experiments --list
 
 IDs: didactic, fig8a, fig8b, fig8c, fig9a, fig9b, fig9c, section54,
-section62, table1, theorem41, theorem42, ipv6, comparison, mfcguard.
+section62, table1, theorem41, theorem42, ipv6, comparison, mfcguard,
+pmdsweep.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.experiments import (
     fig9c,
     ipv6_quirk,
     mfcguard,
+    pmdsweep,
     section54,
     section62,
     section7,
@@ -53,6 +55,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ipv6": ipv6_quirk.run,
     "comparison": comparison.run,
     "mfcguard": mfcguard.run,
+    "pmdsweep": pmdsweep.run,
 }
 
 

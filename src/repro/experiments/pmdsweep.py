@@ -1,0 +1,193 @@
+"""PMD sweep — attack impact vs. core count and vs. queue placement.
+
+The paper's testbeds ran a single datapath thread; the feasibility
+follow-up (arXiv:2011.09107) observes that multi-queue deployments change
+the attack's blast radius entirely: RSS spreads flows across PMD cores
+with private caches, so a *spread* mask-exploding trace dilutes its
+staircase over every core (each core scans a fraction of the masks), while
+a *queue-concentrated* trace — the attacker grinding the wildcarded bits of
+its 5-tuples until RSS lands every crafting packet on one chosen queue —
+detonates the full explosion on a single core and collapses exactly the
+victims RSS co-scheduled there.
+
+This scenario sweeps both axes on the synthetic SUT: one victim pinned per
+queue (round-robin), the SipDp co-located trace replayed during an attack
+window, and each row reporting the per-victim throughput floor, the
+aggregate floor, per-core mask counts and peak core load.  Expected shape:
+
+* spread rows: the aggregate floor *rises* with ``n_pmd`` (dilution);
+* the concentrated row: only the victim on the targeted queue collapses,
+  the others hold ~baseline — per-core isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.testbeds import TRUSTED_IP, build_testbed
+from repro.netsim.cloud import SYNTHETIC_ENV
+from repro.netsim.cms import PolicyRule
+from repro.netsim.flows import ActiveWindow, AttackSource, queue_aware_trace
+
+__all__ = ["run", "run_config"]
+
+DEFAULT_CONFIGS: tuple[tuple[int, str | int], ...] = (
+    (1, "spread"),
+    (2, "spread"),
+    (4, "spread"),
+    (4, 0),  # concentrated on queue 0 (victim1's core)
+)
+
+
+def run_config(
+    n_pmd: int,
+    plan: str | int,
+    duration: float = 40.0,
+    attack_start: float = 10.0,
+    attack_stop: float = 30.0,
+    attack_pps: float = 200.0,
+    n_victims: int = 4,
+    dt: float = 0.1,
+) -> dict:
+    """One sweep cell: build the testbed, run it, summarise the window."""
+    environment = replace(
+        SYNTHETIC_ENV, name=f"Synthetic/{n_pmd}pmd", n_pmd=n_pmd
+    )
+    testbed = build_testbed(environment, dt=dt)
+    victims = [
+        testbed.add_victim_flow(
+            f"victim{i + 1}",
+            flow_index=i,
+            offered_gbps=10.0 / n_victims,
+            queue=i % n_pmd,
+        )
+        for i in range(n_victims)
+    ]
+    trace = testbed.attack_trace(
+        [
+            PolicyRule(dst_port=80),
+            PolicyRule(remote_ip=(TRUSTED_IP, 0xFFFFFFFF)),
+        ],
+        label="SipDp",
+    )
+    keys, report = queue_aware_trace(testbed.server.host, list(trace.keys), plan)
+    attacker = AttackSource(
+        host=testbed.server.host,
+        keys=keys,
+        pps=attack_pps,
+        windows=[ActiveWindow(attack_start, attack_stop)],
+        name="attacker",
+    )
+    simulation = testbed.simulation
+    simulation.add(attacker)
+    simulation.add(testbed.server.host)
+
+    baselines = [0.0] * n_victims
+    floors = [float("inf")] * n_victims
+    peak_core_load = 0.0
+
+    def observer(now: float) -> None:
+        nonlocal peak_core_load
+        for index, victim in enumerate(victims):
+            victim.settle(now, dt)
+            if now < attack_start:
+                baselines[index] = max(baselines[index], victim.rate_gbps)
+            elif attack_start + 5.0 <= now < attack_stop:
+                floors[index] = min(floors[index], victim.rate_gbps)
+        if attack_start <= now < attack_stop:
+            peak_core_load = max(
+                peak_core_load, max(testbed.server.host.per_core_load)
+            )
+
+    simulation.observe(observer)
+    simulation.run(duration)
+
+    datapath = testbed.server.datapath
+    masks_per_shard = [shard.n_masks for shard in datapath.shards]
+    return {
+        "n_pmd": n_pmd,
+        "plan": plan,
+        "baselines": baselines,
+        "floors": floors,
+        "peak_core_load": peak_core_load,
+        "masks_total": datapath.n_masks,
+        "masks_per_shard": masks_per_shard,
+        "retarget": report,
+        "victim_queues": [
+            state.home_shards[0]
+            for state in testbed.server.host.victims.values()
+        ],
+    }
+
+
+def run(
+    configs: Sequence[tuple[int, str | int]] = DEFAULT_CONFIGS,
+    duration: float = 40.0,
+    attack_start: float = 10.0,
+    attack_stop: float = 30.0,
+    attack_pps: float = 200.0,
+    n_victims: int = 4,
+    dt: float = 0.1,
+) -> ExperimentResult:
+    """Sweep attack impact vs. PMD count and vs. queue placement.
+
+    Each row is one (``n_pmd``, trace plan) cell; ``trace`` is ``spread``
+    (round-robin across queues) or ``queue<k>`` (concentrated).  Victim
+    ``i`` is RSS-pinned to queue ``i % n_pmd``.
+    """
+    result = ExperimentResult(
+        experiment_id="pmdsweep",
+        title="TSE impact vs PMD core count and attack queue placement",
+        paper_reference="multi-queue feasibility follow-up (arXiv:2011.09107)",
+        columns=["n_pmd", "trace"]
+        + [f"victim{i + 1}_floor_gbps" for i in range(n_victims)]
+        + ["sum_floor_gbps", "sum_baseline_gbps", "masks_max_shard", "peak_core_load"],
+    )
+    for n_pmd, plan in configs:
+        cell = run_config(
+            n_pmd,
+            plan,
+            duration=duration,
+            attack_start=attack_start,
+            attack_stop=attack_stop,
+            attack_pps=attack_pps,
+            n_victims=n_victims,
+            dt=dt,
+        )
+        label = "spread" if plan == "spread" else f"queue{plan}"
+        result.add_row(
+            n_pmd,
+            label,
+            *[round(f, 4) for f in cell["floors"]],
+            round(sum(cell["floors"]), 4),
+            round(sum(cell["baselines"]), 4),
+            max(cell["masks_per_shard"]),
+            round(cell["peak_core_load"], 3),
+        )
+        result.notes.append(
+            f"n_pmd={n_pmd} {label}: masks/shard {cell['masks_per_shard']}, "
+            f"victim queues {cell['victim_queues']}, "
+            f"retargeted {cell['retarget'].retargeted} keys "
+            f"({cell['retarget'].stuck} stuck)"
+        )
+
+    spread_rows = [
+        (row, config)
+        for row, config in zip(result.rows, configs)
+        if config[1] == "spread"
+    ]
+    if len(spread_rows) >= 2:
+        sum_floor = list(result.columns).index("sum_floor_gbps")
+        first, last = spread_rows[0][0][sum_floor], spread_rows[-1][0][sum_floor]
+        result.notes.append(
+            f"spread dilution: aggregate floor {first:.2f} Gbps at "
+            f"{spread_rows[0][1][0]} PMD -> {last:.2f} Gbps at "
+            f"{spread_rows[-1][1][0]} PMD"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

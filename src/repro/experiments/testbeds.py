@@ -17,6 +17,7 @@ from repro.netsim.flows import VictimFlow
 from repro.netsim.metrics import MetricsCollector
 from repro.packet.fields import FlowKey
 from repro.packet.headers import PROTO_TCP, PROTO_UDP
+from repro.switch.rss import pin_to_queue
 
 __all__ = ["Fig7Testbed", "build_testbed"]
 
@@ -36,17 +37,31 @@ class Fig7Testbed:
     metrics: MetricsCollector
     simulation: Simulation
 
-    def victim_keys(self, flow_index: int = 0, proto: int = PROTO_TCP) -> tuple[FlowKey, ...]:
-        """Flow keys of one victim iperf session (admitted by ACL-V)."""
-        return (
-            FlowKey(
-                ip_src=self.backend_vm.ip,
-                ip_dst=self.victim_vm.ip,
-                ip_proto=proto,
-                tp_src=52000 + flow_index,
-                tp_dst=IPERF_PORT,
-            ),
+    def victim_keys(
+        self, flow_index: int = 0, proto: int = PROTO_TCP, queue: int | None = None
+    ) -> tuple[FlowKey, ...]:
+        """Flow keys of one victim iperf session (admitted by ACL-V).
+
+        With ``queue`` set on a sharded (multi-PMD) server, the source
+        port is chosen so RSS pins the flow to that PMD queue — the
+        experimenter's analogue of placing iperf endpoints until the flow
+        lands on the core under study.
+        """
+        key = FlowKey(
+            ip_src=self.backend_vm.ip,
+            ip_dst=self.victim_vm.ip,
+            ip_proto=proto,
+            tp_src=52000 + flow_index,
+            tp_dst=IPERF_PORT,
         )
+        dispatcher = getattr(self.server.datapath, "rss", None)
+        if queue is not None and dispatcher is not None:
+            # Distinct search lanes per flow_index keep victim ports unique.
+            key = pin_to_queue(
+                key, dispatcher, queue, field="tp_src",
+                start=52000 + flow_index * 512,
+            )
+        return (key,)
 
     def attack_trace(
         self,
@@ -78,12 +93,13 @@ class Fig7Testbed:
         offered_gbps: float = 3.3,
         kind: str = "tcp",
         windows=(),
+        queue: int | None = None,
     ) -> VictimFlow:
         proto = PROTO_TCP if kind == "tcp" else PROTO_UDP
         flow = VictimFlow(
             host=self.server.host,
             name=name,
-            keys=self.victim_keys(flow_index, proto=proto),
+            keys=self.victim_keys(flow_index, proto=proto, queue=queue),
             offered_gbps=offered_gbps,
             kind=kind,
             windows=windows,

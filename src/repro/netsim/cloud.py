@@ -26,12 +26,14 @@ from repro.packet.addresses import ipv4
 from repro.switch.costmodel import CostModel
 from repro.switch.datapath import Datapath, DatapathConfig
 from repro.switch.offload import GRO_OFF_TCP, NicProfile, UDP_PROFILE
+from repro.switch.sharded import ShardedDatapath
 
 __all__ = [
     "EnvironmentProfile",
     "SYNTHETIC_ENV",
     "OPENSTACK_ENV",
     "KUBERNETES_ENV",
+    "MULTIQUEUE_ENV",
     "ENVIRONMENTS",
     "VirtualMachine",
     "Tenant",
@@ -59,10 +61,17 @@ class EnvironmentProfile:
 
     Attributes:
         name: environment label.
-        cost_model: calibrated throughput model.
+        cost_model: calibrated throughput model (budgets are per PMD core).
         cms: the CMS backend mediating tenants' ACLs.
         quirks: behavioural quirks (mask-memo protection on OpenStack).
-        datapath: datapath knobs (strategy, caches, timeouts).
+        datapath: datapath knobs (strategy, caches, timeouts; applied per
+            shard when ``n_pmd > 1``).
+        n_pmd: PMD cores / receive queues per hypervisor switch.  The
+            paper's testbeds all ran a single datapath thread, so the
+            Table 1 presets keep ``n_pmd=1``; raise it (or use
+            ``MULTIQUEUE_ENV`` / ``dataclasses.replace``) to study the
+            RSS-sharded regime of the feasibility follow-up
+            (arXiv:2011.09107).
         description: Table 1 provenance notes.
     """
 
@@ -71,25 +80,33 @@ class EnvironmentProfile:
     cms: CmsBackend
     quirks: QuirkConfig = dc_field(default_factory=QuirkConfig)
     datapath: DatapathConfig = dc_field(default_factory=DatapathConfig)
+    n_pmd: int = 1
     description: str = ""
 
 
+# n_pmd=1: the paper's SUT pinned OVS to a single datapath thread — the
+# mask scan contends on one core, which is what Fig. 8a/9a measure.
 SYNTHETIC_ENV = EnvironmentProfile(
     name="Synthetic",
     cost_model=CostModel(profile=GRO_OFF_TCP, link_gbps=10.0),
     cms=BACKENDS["calico"],  # flow table bootstrapped manually (§5.4)
+    n_pmd=1,
     description="Xeon E5-2620 v3, Intel X710, OVS 2.9.2 — standalone SUT",
 )
 
+# n_pmd=1: the OpenStack testbed's kernel datapath has no PMD threads at
+# all; its single-context softirq processing maps to one shard.
 OPENSTACK_ENV = EnvironmentProfile(
     name="OpenStack",
     cost_model=CostModel(profile=UDP_PROFILE, link_gbps=10.0),
     cms=BACKENDS["openstack"],
     quirks=QuirkConfig(established_flow_protection=True),
     datapath=DatapathConfig(enable_mask_cache=True),
+    n_pmd=1,
     description="OpenStack Queens + OVN, OVS 2.9.90 (unstable)",
 )
 
+# n_pmd=1: the two-laptop Kubernetes testbed rode a single virtio queue.
 KUBERNETES_ENV = EnvironmentProfile(
     name="Kubernetes",
     cost_model=CostModel(
@@ -100,11 +117,24 @@ KUBERNETES_ENV = EnvironmentProfile(
         revalidate_units_per_entry=0.02,
     ),
     cms=BACKENDS["calico"],
+    n_pmd=1,
     description="Kubernetes 1.7 + OVN, 2x i5-6300U, virtio 1 Gbps",
 )
 
+# The multi-queue deployment of the feasibility follow-up: the synthetic
+# Xeon SUT with 4 PMD cores behind RSS.  Default for the ``pmdsweep``
+# scenario's sharded rows.
+MULTIQUEUE_ENV = EnvironmentProfile(
+    name="Multiqueue",
+    cost_model=CostModel(profile=GRO_OFF_TCP, link_gbps=10.0),
+    cms=BACKENDS["calico"],
+    n_pmd=4,
+    description="Synthetic SUT with 4 RSS queues / PMD cores (arXiv:2011.09107)",
+)
+
 ENVIRONMENTS: dict[str, EnvironmentProfile] = {
-    env.name: env for env in (SYNTHETIC_ENV, OPENSTACK_ENV, KUBERNETES_ENV)
+    env.name: env
+    for env in (SYNTHETIC_ENV, OPENSTACK_ENV, KUBERNETES_ENV, MULTIQUEUE_ENV)
 }
 
 
@@ -139,7 +169,12 @@ class Server:
         self.name = name
         self.environment = environment
         self.flow_table = FlowTable(name=f"{name}-acl")
-        self.datapath = Datapath(self.flow_table, environment.datapath)
+        if environment.n_pmd > 1:
+            self.datapath: Datapath | ShardedDatapath = ShardedDatapath(
+                self.flow_table, environment.datapath, n_shards=environment.n_pmd
+            )
+        else:
+            self.datapath = Datapath(self.flow_table, environment.datapath)
         guard = MFCGuard(self.datapath, guard_config) if with_guard else None
         self.host = HypervisorHost(
             datapath=self.datapath,

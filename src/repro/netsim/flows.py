@@ -12,14 +12,60 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.general import GeneralTraceGenerator
 from repro.exceptions import SimulationError
 from repro.netsim.hypervisor import HypervisorHost
 from repro.packet.fields import FlowKey
+from repro.switch.rss import RetargetReport, retarget_trace
 
-__all__ = ["ActiveWindow", "AttackSource", "RandomFloodSource", "VictimFlow"]
+__all__ = [
+    "ActiveWindow",
+    "AttackSource",
+    "RandomFloodSource",
+    "VictimFlow",
+    "queue_aware_trace",
+]
+
+
+def queue_aware_trace(
+    host: HypervisorHost,
+    keys: Sequence[FlowKey],
+    plan: int | str | Callable[[int, FlowKey], int],
+    seed: int = 0,
+) -> tuple[list[FlowKey], RetargetReport]:
+    """Craft a queue-aware variant of an attack trace for ``host``.
+
+    On a sharded host, packets dispatch to PMD cores via RSS; because the
+    attacker controls its packets' 5-tuples, it can grind the bits its
+    megaflows wildcard until the hash lands where it wants (see
+    :func:`repro.switch.rss.retarget_trace` — the crafted variant detonates
+    the identical tuple space).  ``plan`` is either a queue index
+    (concentrate the explosion on one core), ``"spread"`` (round-robin
+    across all cores), or a callable ``(index, key) -> queue``.  On an
+    unsharded host the trace is returned unchanged.
+    """
+    datapath = host.datapath
+    dispatcher = getattr(datapath, "rss", None)
+    if dispatcher is None or datapath.n_shards == 1:
+        return list(keys), RetargetReport(already_on_target=len(keys))
+    if plan == "spread":
+        queue_for: Callable[[int, FlowKey], int] = lambda i, _key: i % dispatcher.n_queues
+    elif isinstance(plan, int):
+        queue_for = lambda _i, _key: plan
+    elif callable(plan):
+        queue_for = plan
+    else:
+        raise SimulationError(f"unknown queue plan {plan!r}")
+    return retarget_trace(
+        keys,
+        datapath.flow_table,
+        dispatcher,
+        queue_for,
+        strategy=datapath.config.strategy,
+        seed=seed,
+    )
 
 
 @dataclass(frozen=True)
@@ -44,7 +90,10 @@ class AttackSource:
     :meth:`HypervisorHost.inject_attack_batch`, mirroring how DPDK/OVS
     pull ~32-packet bursts off the NIC; semantics are identical to
     per-packet injection (the batched datapath is verdict-equivalent),
-    only the per-packet Python overhead is amortised.
+    only the per-packet Python overhead is amortised.  On a sharded host
+    each batch is RSS-partitioned onto PMD shards by the datapath; pass
+    the trace through :func:`queue_aware_trace` first to concentrate or
+    spread the explosion across queues.
 
     Args:
         host: the hypervisor under attack.

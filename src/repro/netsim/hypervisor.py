@@ -6,11 +6,19 @@ time series of Fig. 8.  Each tick it:
 1. receives the attack packets the sources injected (real classifications
    through the simulated datapath — megaflows and masks are genuine);
 2. runs the revalidator (10 s idle eviction) and, optionally, MFCGuard;
-3. converts the tick's work into CPU units: attack fast-path cost, upcall
-   cost, revalidation cost;
-4. divides the remaining budget among the active victim flows, each paying
-   its per-unit classification cost (the calibrated mask-count curve, or
-   the cheap mask-memo path for protected established flows).
+3. converts the tick's work into CPU units **per PMD core**: attack
+   fast-path cost, upcall cost and revalidation cost are charged to the
+   shard whose queue carried them;
+4. divides each core's remaining budget among the victim flows RSS pinned
+   to that core, each paying its per-unit classification cost at *its
+   core's* mask count (the calibrated curve, or the cheap mask-memo path
+   for protected established flows).
+
+On a single-PMD datapath (every paper testbed) there is one core and the
+accounting reduces exactly to the original model; on a sharded datapath a
+queue-concentrated attack burns only the targeted core's budget and
+inflates only that core's mask scan — co-located victims on other cores
+keep their throughput (arXiv:2011.09107's multi-queue observation).
 
 The victim traffic itself is *not* simulated packet-by-packet (hundreds of
 thousands of pps); a few keepalive packets per tick keep the victims' cache
@@ -28,8 +36,9 @@ from repro.core.mitigation import MFCGuard
 from repro.exceptions import SimulationError
 from repro.packet.fields import FlowKey
 from repro.switch.costmodel import CostModel
-from repro.switch.datapath import Datapath, PacketVerdict, PathTaken
+from repro.switch.datapath import PacketVerdict, PathTaken
 from repro.switch.revalidator import Revalidator
+from repro.switch.sharded import AnyDatapath
 
 __all__ = ["QuirkConfig", "VictimState", "HypervisorHost"]
 
@@ -60,16 +69,21 @@ class QuirkConfig:
 
 @dataclass
 class VictimState:
-    """Bookkeeping for one victim flow attached to this host."""
+    """Bookkeeping for one victim flow attached to this host.
+
+    ``home_shards`` is where RSS pins the flow's keys — stable for the
+    flow's lifetime, so it is computed once at registration.  The victim
+    only contends with work on those cores.
+    """
 
     name: str
     keys: tuple[FlowKey, ...]
+    home_shards: tuple[int, ...] = (0,)
     active: bool = False
     active_since: float | None = None
     calm_since: float | None = None
     protected: bool = False
     assigned_gbps: float = 0.0
-    unit_cost: float = 1.0
 
 
 class HypervisorHost:
@@ -85,7 +99,7 @@ class HypervisorHost:
 
     def __init__(
         self,
-        datapath: Datapath,
+        datapath: AnyDatapath,
         cost_model: CostModel,
         quirks: QuirkConfig | None = None,
         guard: MFCGuard | None = None,
@@ -97,35 +111,40 @@ class HypervisorHost:
         self.guard = guard
         self.revalidator = Revalidator(datapath, period=revalidator_period)
         self.victims: dict[str, VictimState] = {}
-        # Per-tick work accumulators (reset each tick).
-        self._attack_units = 0.0
+        self.n_cores = datapath.n_shards
+        # Per-tick, per-core work accumulators (reset each tick).
+        self._attack_units = [0.0] * self.n_cores
         self._upcalls = 0
         self._slow_path_packets = 0
         self._revalidated_entries = 0
         # Last-settled outputs, for observers.
         self.upcall_pps = 0.0
         self.cpu_load_fraction = 0.0
+        self.per_core_load = [0.0] * self.n_cores
 
     # -- wiring ---------------------------------------------------------------
     def register_victim(self, name: str, keys: tuple[FlowKey, ...]) -> VictimState:
         """Attach a victim flow (its keepalive keys) to this host."""
         if name in self.victims:
             raise SimulationError(f"victim {name!r} already registered")
-        state = VictimState(name=name, keys=keys)
+        home = tuple(sorted({self.datapath.shard_of(key) for key in keys})) or (0,)
+        state = VictimState(name=name, keys=keys, home_shards=home)
         self.victims[name] = state
         return state
 
     # -- ingress from traffic sources ---------------------------------------------
     def inject_attack(self, key: FlowKey, now: float) -> PacketVerdict:
-        """Classify one attack packet; account its cost."""
-        masks_before = self.datapath.n_masks
-        verdict = self.datapath.process(key, now=now)
+        """Classify one attack packet; account its cost to its RSS core."""
+        shard_id = self.datapath.shard_of(key)
+        shard = self.datapath.shards[shard_id]
+        masks_before = shard.n_masks
+        verdict = shard.process(key, now=now)
         upcall = verdict.is_upcall
         if verdict.path is PathTaken.MASK_CACHE:
             cost = 1.0  # single-table probe
         else:
             cost = self.cost_model.attack_cost_units(max(masks_before, 1), upcall=upcall)
-        self._attack_units += cost
+        self._attack_units[shard_id] += cost
         if upcall:
             self._upcalls += 1
             self._slow_path_packets += 1
@@ -136,25 +155,31 @@ class HypervisorHost:
 
         Equivalent to ``[self.inject_attack(k, now) for k in keys]`` —
         same verdicts, same units charged (each packet pays for the mask
-        count it actually saw, via :class:`BatchVerdicts.mask_counts`) —
-        but the datapath work runs through the batched pipeline and the
+        count *its core* actually saw, via ``mask_counts``/``shard_ids``)
+        — but the datapath work runs through the batched pipeline and the
         cost curve is evaluated per distinct mask count, not per packet.
         """
         batch = self.datapath.process_batch(keys, now=now)
-        scan_counts: list[int] = []
-        upcalls = 0
-        mask_cache_hits = 0
-        for verdict, masks_before in zip(batch.verdicts, batch.mask_counts):
+        shard_ids = getattr(batch, "shard_ids", None)
+        if shard_ids is None or not shard_ids:
+            shard_ids = (0,) * len(batch)
+        scan_counts: dict[int, list[int]] = {}
+        upcalls_by_shard: dict[int, int] = {}
+        total_upcalls = 0
+        for verdict, masks_before, shard_id in zip(batch.verdicts, batch.mask_counts, shard_ids):
             if verdict.path is PathTaken.MASK_CACHE:
-                mask_cache_hits += 1  # single-table probe, one unit each
+                self._attack_units[shard_id] += 1.0  # single-table probe
                 continue
-            scan_counts.append(masks_before)
+            scan_counts.setdefault(shard_id, []).append(masks_before)
             if verdict.is_upcall:
-                upcalls += 1
-        self._attack_units += mask_cache_hits * 1.0
-        self._attack_units += self.cost_model.attack_units_batch(scan_counts, upcalls)
-        self._upcalls += upcalls
-        self._slow_path_packets += upcalls
+                upcalls_by_shard[shard_id] = upcalls_by_shard.get(shard_id, 0) + 1
+                total_upcalls += 1
+        for shard_id, counts in scan_counts.items():
+            self._attack_units[shard_id] += self.cost_model.attack_units_batch(
+                counts, upcalls_by_shard.get(shard_id, 0)
+            )
+        self._upcalls += total_upcalls
+        self._slow_path_packets += total_upcalls
         return list(batch.verdicts)
 
     def keepalive(self, name: str, now: float) -> list[PacketVerdict]:
@@ -184,8 +209,17 @@ class HypervisorHost:
             raise SimulationError(f"unknown victim {name!r}") from None
 
     # -- the per-tick settlement -----------------------------------------------------
+    def _victim_unit_cost(self, state: VictimState, masks: int) -> float:
+        """Per-unit cost of one victim at ``masks`` masks (protection mix)."""
+        scan_cost = self.cost_model.victim_cost_units(masks)
+        if state.protected:
+            cheap = 1.0
+            chi = self.quirks.collision_rate
+            return (1.0 - chi) * cheap + chi * scan_cost
+        return scan_cost
+
     def tick(self, now: float, dt: float) -> None:
-        """Run maintenance, settle CPU accounting, assign victim capacity."""
+        """Run maintenance, settle per-core CPU accounting, assign victim capacity."""
         evicted = self.revalidator.tick(now)
         self._revalidated_entries += len(evicted)
         if self.guard is not None:
@@ -194,40 +228,52 @@ class HypervisorHost:
             # as this tick's suppressed-installs; feed the measured rate.
             self.guard.note_attack_rate(self._slow_path_packets / dt)
 
-        masks = max(self.datapath.n_masks, 1)
-        budget = self.cost_model.budget_units_per_sec
+        shards = self.datapath.shards
+        budget = self.cost_model.budget_units_per_sec  # per PMD core
 
-        # Work burned by non-victim activity, as rates (units/second).
-        attack_rate_units = self._attack_units / dt
-        reval_rate_units = self.cost_model.revalidation_units_per_sec(
-            self.datapath.n_megaflows, self.revalidator.period
+        # Work burned by non-victim activity, per core (units/second).
+        # Revalidation of a shard's flow dump stalls that shard's PMD.
+        consumed = [
+            self._attack_units[i] / dt
+            + self.cost_model.revalidation_units_per_sec(
+                shard.n_megaflows, self.revalidator.period
+            )
+            for i, shard in enumerate(shards)
+        ]
+        total_budget = budget * len(shards)
+        self.cpu_load_fraction = (
+            min(1.0, sum(consumed) / total_budget) if total_budget else 1.0
         )
-        consumed = attack_rate_units + reval_rate_units
-        self.cpu_load_fraction = min(1.0, consumed / budget) if budget else 1.0
-        available = max(0.0, budget - consumed)
+        self.per_core_load = [
+            min(1.0, c / budget) if budget else 1.0 for c in consumed
+        ]
+        available = [max(0.0, budget - c) for c in consumed]
 
-        # Victim unit costs (protection quirk).
+        # Victim protection state tracks the victim's own cores' mask load.
         active = [state for state in self.victims.values() if state.active]
         for state in active:
+            masks = max(max(shards[s].n_masks for s in state.home_shards), 1)
             self._update_protection(state, now, masks)
-            if state.protected:
-                scan_cost = self.cost_model.victim_cost_units(masks)
-                cheap = 1.0
-                chi = self.quirks.collision_rate
-                state.unit_cost = (1.0 - chi) * cheap + chi * scan_cost
-            else:
-                state.unit_cost = self.cost_model.victim_cost_units(masks)
 
-        # Equal split of the remaining budget across active victims.
+        # Equal split of each core's remaining budget across the active
+        # victims RSS pinned there; a victim spanning several cores (e.g.
+        # forward + reverse keys hashed apart) sums its per-core shares.
         if active:
-            share = available / len(active)
+            victims_on_core = [0] * len(shards)
             for state in active:
-                units_per_sec = share / state.unit_cost
+                for s in state.home_shards:
+                    victims_on_core[s] += 1
+            for state in active:
+                units_per_sec = 0.0
+                for s in state.home_shards:
+                    share = available[s] / victims_on_core[s]
+                    cost = self._victim_unit_cost(state, max(shards[s].n_masks, 1))
+                    units_per_sec += share / cost
                 gbps = units_per_sec * self.cost_model.unit_bits / 1e9
                 state.assigned_gbps = min(self.cost_model.link_gbps / len(active), gbps)
 
         self.upcall_pps = self._upcalls / dt
-        self._attack_units = 0.0
+        self._attack_units = [0.0] * self.n_cores
         self._upcalls = 0
         self._slow_path_packets = 0
 

@@ -106,8 +106,20 @@ class CostModel:
 
     @property
     def budget_units_per_sec(self) -> float:
-        """Fast-path budget: units available per second."""
+        """Fast-path budget of **one PMD core**: units available per second.
+
+        Every PMD thread owns one dedicated core with this same cycle
+        budget; a multi-queue host's aggregate capacity is
+        :meth:`aggregate_budget_units_per_sec`.  (The single-PMD testbeds
+        of the paper are the ``n_cores=1`` case, where the two coincide.)
+        """
         return self.baseline_gbps * 1e9 / 8.0 / self.profile.unit_bytes
+
+    def aggregate_budget_units_per_sec(self, n_cores: int) -> float:
+        """Total fast-path budget of ``n_cores`` PMD cores (units/second)."""
+        if n_cores < 1:
+            raise SwitchError(f"n_cores must be >= 1, got {n_cores}")
+        return n_cores * self.budget_units_per_sec
 
     @property
     def unit_bits(self) -> float:

@@ -182,6 +182,24 @@ class Datapath:
         self.now = 0.0
         flow_table.subscribe(self.flush_caches)
 
+    # -- sharding surface --------------------------------------------------------
+    # A plain Datapath is the degenerate one-shard case of the multi-PMD
+    # model; exposing the same surface as ShardedDatapath lets the
+    # hypervisor, revalidator, MFCGuard and dpctl treat both uniformly.
+    @property
+    def n_shards(self) -> int:
+        """Number of PMD shards (always 1 for an unsharded datapath)."""
+        return 1
+
+    @property
+    def shards(self) -> tuple["Datapath", ...]:
+        """The per-PMD shard datapaths (just this one)."""
+        return (self,)
+
+    def shard_of(self, key: FlowKey) -> int:
+        """RSS queue of ``key`` (always 0 without RSS)."""
+        return 0
+
     # -- cache sizes --------------------------------------------------------------
     @property
     def n_masks(self) -> int:
@@ -228,23 +246,20 @@ class Datapath:
             action=entry.action, path=PathTaken.MASK_CACHE, masks_inspected=1
         )
 
-    def process(self, key: FlowKey, now: float | None = None) -> PacketVerdict:
-        """Classify one packet (by flow key) through the full pipeline."""
-        self._advance_clock(now)
-        self.stats.packets += 1
-
+    def _fast_levels(self, key: FlowKey) -> PacketVerdict | None:
+        """Levels 1-2: microflow cache, then kernel mask cache."""
         if self.microflows is not None:
             verdict = self._microflow_level(key)
             if verdict is not None:
                 return verdict
-
         if self.mask_cache is not None:
             verdict = self._mask_cache_level(key)
             if verdict is not None:
                 return verdict
+        return None
 
-        # Level 3: megaflow cache (TSS linear scan).
-        result = self.megaflows.lookup(key, now=self.now)
+    def _scan_levels(self, key: FlowKey, result) -> PacketVerdict:
+        """Levels 3-4: settle a TSS scan result; upcall on a miss."""
         self.stats.masks_inspected_total += result.masks_inspected
         if result.entry is not None:
             self.stats.megaflow_hits += 1
@@ -254,9 +269,16 @@ class Datapath:
                 path=PathTaken.MEGAFLOW,
                 masks_inspected=result.masks_inspected,
             )
-
-        # Level 4: slow-path upcall.
         return self._upcall(key, scanned=result.masks_inspected)
+
+    def process(self, key: FlowKey, now: float | None = None) -> PacketVerdict:
+        """Classify one packet (by flow key) through the full pipeline."""
+        self._advance_clock(now)
+        self.stats.packets += 1
+        verdict = self._fast_levels(key)
+        if verdict is not None:
+            return verdict
+        return self._scan_levels(key, self.megaflows.lookup(key, now=self.now))
 
     def process_batch(self, keys: Sequence[FlowKey], now: float | None = None) -> BatchVerdicts:
         """Classify a whole batch of packets through the pipeline.
@@ -280,36 +302,11 @@ class Datapath:
         for i, key in enumerate(keys):
             self.stats.packets += 1
             mask_counts.append(self.megaflows.n_masks)
-
-            if self.microflows is not None:
-                verdict = self._microflow_level(key)
-                if verdict is not None:
-                    verdicts.append(verdict)
-                    continue
-
-            if self.mask_cache is not None:
-                verdict = self._mask_cache_level(key)
-                if verdict is not None:
-                    verdicts.append(verdict)
-                    continue
-
-            result = scanner.result(i)
-            self.stats.masks_inspected_total += result.masks_inspected
-            if result.entry is not None:
-                self.stats.megaflow_hits += 1
-                self._remember(key, result.entry)
-                verdicts.append(
-                    PacketVerdict(
-                        action=result.entry.action,
-                        path=PathTaken.MEGAFLOW,
-                        masks_inspected=result.masks_inspected,
-                    )
-                )
-                continue
-
-            verdict = self._upcall(key, scanned=result.masks_inspected)
-            if verdict.installed is not None:
-                scanner.note_inserted(verdict.installed)
+            verdict = self._fast_levels(key)
+            if verdict is None:
+                verdict = self._scan_levels(key, scanner.result(i))
+                if verdict.installed is not None:
+                    scanner.note_inserted(verdict.installed)
             verdicts.append(verdict)
         return BatchVerdicts(verdicts=tuple(verdicts), mask_counts=tuple(mask_counts))
 

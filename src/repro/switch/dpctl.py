@@ -11,6 +11,13 @@ eyeball a tuple space explosion the way the paper's authors did:
   syntax with hit statistics and actions;
 * :func:`mask_histogram` — mask population by wildcarded-bit count, handy
   for spotting the prefix staircase a TSE attack carves.
+
+All three accept a sharded multi-PMD datapath too: ``show`` appends one
+``pmd`` line per shard (mask count, megaflow count, hit statistics — the
+operator-triage view that reveals a queue-concentrated explosion),
+``dump_flows`` prefixes each shard's flows with its queue header, and
+``mask_histogram`` aggregates the staircase across shards.  Single-shard
+output is unchanged.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from collections import Counter
 from repro.classifier.tss import MegaflowEntry
 from repro.packet.addresses import ipv4_str, ipv6_str
 from repro.packet.fields import FIELD_ORDER, FIELDS
-from repro.switch.datapath import Datapath
+from repro.switch.sharded import AnyDatapath
 
 __all__ = ["show", "dump_flows", "format_flow", "mask_histogram"]
 
@@ -68,41 +75,94 @@ def format_flow(entry: MegaflowEntry) -> str:
     )
 
 
-def dump_flows(datapath: Datapath, max_flows: int | None = None) -> str:
-    """The ``ovs-dpctl dump-flows`` rendering of the megaflow cache."""
+def dump_flows(datapath: AnyDatapath, max_flows: int | None = None) -> str:
+    """The ``ovs-dpctl dump-flows`` rendering of the megaflow cache(s).
+
+    On a sharded datapath each shard's flows follow a ``pmd queue N:``
+    header (``max_flows`` applies per shard, as each PMD dump does).
+    """
+    sharded = datapath.n_shards > 1
     lines = []
-    for count, entry in enumerate(datapath.megaflows.entries()):
-        if max_flows is not None and count >= max_flows:
-            lines.append(f"... ({datapath.n_megaflows - max_flows} more)")
-            break
-        lines.append(format_flow(entry))
+    for shard_id, shard in enumerate(datapath.shards):
+        if sharded:
+            lines.append(f"pmd queue {shard_id}: flows: {shard.n_megaflows}")
+        for count, entry in enumerate(shard.megaflows.entries()):
+            if max_flows is not None and count >= max_flows:
+                lines.append(f"... ({shard.n_megaflows - max_flows} more)")
+                break
+            lines.append(format_flow(entry))
     return "\n".join(lines)
 
 
-def show(datapath: Datapath) -> str:
-    """The ``ovs-dpctl show`` summary (the Alg. 2 line-2 data source)."""
-    stats = datapath.stats
-    cache = datapath.megaflows
+def _shard_summary(shard) -> tuple[str, str]:
+    """The ``lookups`` and ``masks`` lines of one (shard) datapath."""
+    stats = shard.stats
+    cache = shard.megaflows
     lookups = cache.stats_hits + cache.stats_misses
+    return (
+        f"lookups: hit:{cache.stats_hits} missed:{cache.stats_misses} total:{lookups}",
+        f"masks: hit:{stats.masks_inspected_total} total:{shard.n_masks} "
+        f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
+    )
+
+
+def show(datapath: AnyDatapath) -> str:
+    """The ``ovs-dpctl show`` summary (the Alg. 2 line-2 data source).
+
+    For a sharded datapath the summary block reports aggregates (the
+    ``masks: … total:`` is the distinct-mask union, the attack's figure of
+    merit) followed by one ``pmd`` line per shard, so a queue-concentrated
+    explosion is visible core by core.
+    """
+    sharded = datapath.n_shards > 1
+    if sharded:
+        stats = datapath.stats
+        lookup_hits = sum(s.megaflows.stats_hits for s in datapath.shards)
+        lookup_misses = sum(s.megaflows.stats_misses for s in datapath.shards)
+        memory = sum(s.megaflows.memory_bytes() for s in datapath.shards)
+        lines = [
+            "datapath@repro:",
+            f"  lookups: hit:{lookup_hits} missed:{lookup_misses} "
+            f"total:{lookup_hits + lookup_misses}",
+            f"  flows: {datapath.n_megaflows}",
+            f"  masks: hit:{stats.masks_inspected_total} total:{datapath.n_masks} "
+            f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
+            f"  mask tables: {datapath.n_mask_tables} across {datapath.n_shards} pmds",
+            f"  cache usage: {memory / 1e6:.2f} MB",
+        ]
+        for shard_id, shard in enumerate(datapath.shards):
+            lookups_line, masks_line = _shard_summary(shard)
+            lines.append(
+                f"  pmd queue {shard_id}: flows: {shard.n_megaflows}; "
+                f"{lookups_line}; {masks_line}"
+            )
+        return "\n".join(lines)
+
+    shard = datapath.shards[0]
+    lookups_line, masks_line = _shard_summary(shard)
     lines = [
         "datapath@repro:",
-        f"  lookups: hit:{cache.stats_hits} missed:{cache.stats_misses} total:{lookups}",
-        f"  flows: {datapath.n_megaflows}",
-        f"  masks: hit:{stats.masks_inspected_total} total:{datapath.n_masks} "
-        f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
-        f"  cache usage: {cache.memory_bytes() / 1e6:.2f} MB",
+        f"  {lookups_line}",
+        f"  flows: {shard.n_megaflows}",
+        f"  {masks_line}",
+        f"  cache usage: {shard.megaflows.memory_bytes() / 1e6:.2f} MB",
     ]
-    if datapath.microflows is not None:
+    if shard.microflows is not None:
         lines.append(
-            f"  microflows: {len(datapath.microflows)}/{datapath.microflows.capacity} "
-            f"(hit rate {datapath.microflows.hit_rate:.0%})"
+            f"  microflows: {len(shard.microflows)}/{shard.microflows.capacity} "
+            f"(hit rate {shard.microflows.hit_rate:.0%})"
         )
     return "\n".join(lines)
 
 
-def mask_histogram(datapath: Datapath) -> dict[int, int]:
-    """Mask count by number of wildcarded bits (the TSE staircase)."""
+def mask_histogram(datapath: AnyDatapath) -> dict[int, int]:
+    """Mask-table count by number of wildcarded bits (the TSE staircase).
+
+    Aggregated across shards: a mask installed in k shards contributes k
+    tables (each shard scans its own copy).
+    """
     histogram: Counter[int] = Counter()
-    for mask in datapath.megaflows.masks():
-        histogram[mask.wildcarded_bits()] += 1
+    for shard in datapath.shards:
+        for mask in shard.megaflows.masks():
+            histogram[mask.wildcarded_bits()] += 1
     return dict(sorted(histogram.items()))

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.classifier.tss import MegaflowEntry
 from repro.exceptions import SwitchError
-from repro.switch.datapath import Datapath
+from repro.switch.sharded import AnyDatapath
 
 __all__ = ["RevalidatorStats", "Revalidator"]
 
@@ -34,14 +34,19 @@ class RevalidatorStats:
 
 
 class Revalidator:
-    """Periodic sweeper bound to one datapath.
+    """Periodic sweeper bound to one datapath (sharded or not).
+
+    OVS revalidator threads serve every PMD's flow dump, so one sweeper
+    maintains all shards: idle eviction runs per shard, and the flow limit
+    is enforced against the *aggregate* entry count (the limit models
+    total datapath memory, not a per-core quota).
 
     Args:
         datapath: the datapath to maintain.
         period: seconds between sweeps when driven by :meth:`tick`.
     """
 
-    def __init__(self, datapath: Datapath, period: float = 1.0):
+    def __init__(self, datapath: AnyDatapath, period: float = 1.0):
         if period <= 0:
             raise SwitchError(f"revalidator period must be positive, got {period}")
         self.datapath = datapath
@@ -70,7 +75,10 @@ class Revalidator:
         # evicts aggressively under memory pressure).
         overflow = self.datapath.n_megaflows - self.datapath.config.max_megaflows
         if overflow > 0:
-            by_lru = sorted(self.datapath.megaflows.entries(), key=lambda e: e.last_used)
+            by_lru = sorted(
+                (entry for shard in self.datapath.shards for entry in shard.megaflows.entries()),
+                key=lambda e: e.last_used,
+            )
             for entry in by_lru[:overflow]:
                 self.datapath.kill_entry(entry, permanent=False)
             self.stats.evicted_limit += overflow

@@ -1,0 +1,209 @@
+"""RSS dispatch: hashing flows onto PMD queues, and queue-aware crafting.
+
+Multi-queue NICs spread incoming flows across PMD cores with Receive Side
+Scaling: a hash of the 5-tuple picks the queue, so every packet of a flow
+lands on the same core for its lifetime.  Two consequences matter for the
+tuple-space-explosion attack (the multi-queue feasibility follow-up,
+arXiv:2011.09107):
+
+* each PMD core owns private caches, so a mask staircase detonates only in
+  the shards whose queues received the crafting packets — RSS *dilutes* a
+  naive attack across cores;
+* the attacker controls its packets' 5-tuples, and the bits a crafted
+  packet needs for its mask staircase rarely pin the whole 5-tuple — the
+  leftover wildcarded bits can be ground until the RSS hash lands on a
+  *chosen* queue, concentrating the explosion on one core (and the victims
+  whose flows RSS assigned to it).
+
+:class:`RssDispatcher` is the dispatch layer (hash pluggable, so deployments
+with different hash functions — or an attacker's model of one — can be
+simulated); :func:`retarget_trace` is the queue-aware crafting tool, which
+only ever touches bits the generated megaflow wildcards, so the retargeted
+trace provably detonates the same masks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.slowpath import OVS_DEFAULT, MegaflowGenerator, StrategyConfig
+from repro.exceptions import SwitchError
+from repro.packet.fields import FIELD_ORDER, FIELDS, FlowKey
+
+__all__ = [
+    "RSS_FIELDS",
+    "five_tuple_hash",
+    "RssDispatcher",
+    "RetargetReport",
+    "retarget_trace",
+    "pin_to_queue",
+]
+
+# The classic RSS input set: the L3/L4 5-tuple.
+RSS_FIELDS: tuple[str, ...] = ("ip_src", "ip_dst", "ip_proto", "tp_src", "tp_dst")
+_RSS_INDICES: tuple[int, ...] = tuple(FIELD_ORDER.index(name) for name in RSS_FIELDS)
+
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+
+
+def five_tuple_hash(key: FlowKey) -> int:
+    """Deterministic 32-bit FNV-1a over the 5-tuple (a Toeplitz stand-in).
+
+    Real NICs use a keyed Toeplitz hash; what the simulation needs from it
+    is determinism (a flow's queue is stable for its lifetime) and bit
+    sensitivity (flipping any 5-tuple bit can move the flow) — FNV-1a over
+    the field bytes provides both without the 40-byte key machinery.
+    """
+    h = _FNV_OFFSET
+    for index in _RSS_INDICES:
+        value = key.at(index)
+        for shift in (0, 8, 16, 24):
+            h ^= (value >> shift) & 0xFF
+            h = (h * _FNV_PRIME) & 0xFFFFFFFF
+    return h
+
+
+class RssDispatcher:
+    """Maps flow keys onto ``n_queues`` PMD queues.
+
+    Args:
+        n_queues: number of receive queues (= PMD shards).
+        hash_fn: pluggable hash ``FlowKey -> int`` (defaults to
+            :func:`five_tuple_hash`); substituting the deployment's real
+            hash lets traces be crafted queue-aware against it.
+    """
+
+    def __init__(self, n_queues: int, hash_fn: Callable[[FlowKey], int] = five_tuple_hash):
+        if n_queues < 1:
+            raise SwitchError(f"n_queues must be >= 1, got {n_queues}")
+        self.n_queues = n_queues
+        self.hash_fn = hash_fn
+
+    def queue_of(self, key: FlowKey) -> int:
+        """The queue ``key``'s flow is pinned to (stable for its lifetime)."""
+        if self.n_queues == 1:
+            return 0
+        return self.hash_fn(key) % self.n_queues
+
+    def partition(self, keys: Iterable[FlowKey]) -> dict[int, list[int]]:
+        """Indices of ``keys`` grouped by queue, preserving order per queue."""
+        buckets: dict[int, list[int]] = {}
+        for index, key in enumerate(keys):
+            buckets.setdefault(self.queue_of(key), []).append(index)
+        return buckets
+
+    def __repr__(self) -> str:
+        return f"RssDispatcher(n_queues={self.n_queues})"
+
+
+@dataclass(frozen=True)
+class RetargetReport:
+    """Outcome of one :func:`retarget_trace` pass.
+
+    Attributes:
+        retargeted: keys whose free bits were ground onto the target queue.
+        already_on_target: keys RSS already mapped where the plan wanted.
+        stuck: keys left untouched (no free 5-tuple bits, or the grind
+            budget ran out) — these stay on their natural queue.
+    """
+
+    retargeted: int = 0
+    already_on_target: int = 0
+    stuck: int = 0
+
+
+def retarget_trace(
+    keys: Sequence[FlowKey],
+    flow_table: FlowTable,
+    dispatcher: RssDispatcher,
+    queue_for: Callable[[int, FlowKey], int],
+    strategy: StrategyConfig = OVS_DEFAULT,
+    seed: int = 0,
+    max_tries: int = 128,
+) -> tuple[list[FlowKey], RetargetReport]:
+    """Craft a queue-aware variant of an adversarial trace.
+
+    For each key the megaflow the slow path would generate is computed
+    first; only bits that megaflow *wildcards* (restricted to the 5-tuple
+    fields RSS reads) are ground, and every candidate is verified to
+    generate the identical ``(mask, masked key)`` — so the retargeted trace
+    detonates exactly the same tuple space, packet for packet, while its
+    RSS placement follows ``queue_for(index, key)``.
+
+    Returns the new key list (same length/order) and a
+    :class:`RetargetReport`.
+    """
+    generator = MegaflowGenerator(flow_table, strategy)
+    rng = random.Random(seed)
+    out: list[FlowKey] = []
+    report_retargeted = report_on_target = report_stuck = 0
+    for index, key in enumerate(keys):
+        target = queue_for(index, key) % dispatcher.n_queues
+        if dispatcher.queue_of(key) == target:
+            out.append(key)
+            report_on_target += 1
+            continue
+        entry = generator.generate(key).entry
+        free = [
+            (field_index, FIELDS[name].full_mask & ~entry.mask.at(field_index))
+            for name, field_index in zip(RSS_FIELDS, _RSS_INDICES)
+        ]
+        free = [(i, bits) for i, bits in free if bits]
+        ground: FlowKey | None = None
+        if free:
+            values = list(key.values)
+            for _ in range(max_tries):
+                for field_index, bits in free:
+                    values[field_index] = (key.at(field_index) & ~bits) | (
+                        rng.getrandbits(bits.bit_length()) & bits
+                    )
+                candidate = FlowKey.from_values(tuple(values))
+                if dispatcher.queue_of(candidate) != target:
+                    continue
+                check = generator.generate(candidate).entry
+                if check.mask == entry.mask and check.key == entry.key:
+                    ground = candidate
+                    break
+        if ground is None:
+            out.append(key)
+            report_stuck += 1
+        else:
+            out.append(ground)
+            report_retargeted += 1
+    return out, RetargetReport(
+        retargeted=report_retargeted,
+        already_on_target=report_on_target,
+        stuck=report_stuck,
+    )
+
+
+def pin_to_queue(
+    key: FlowKey,
+    dispatcher: RssDispatcher,
+    queue: int,
+    field: str = "tp_src",
+    start: int | None = None,
+    max_tries: int = 4096,
+) -> FlowKey:
+    """Choose a value for ``field`` so RSS pins ``key``'s flow to ``queue``.
+
+    The legitimate-endpoint analogue of :func:`retarget_trace`: a victim
+    (or experimenter) picking a source port so its flow lands on a chosen
+    PMD core.  Scans candidate values upward from ``start`` (the key's
+    current value by default) and returns the first hit.
+    """
+    if not 0 <= queue < dispatcher.n_queues:
+        raise SwitchError(f"queue {queue} out of range 0..{dispatcher.n_queues - 1}")
+    definition = FIELDS[field]
+    base = key[field] if start is None else start
+    for offset in range(max_tries):
+        candidate = key.replace(**{field: (base + offset) & definition.full_mask})
+        if dispatcher.queue_of(candidate) == queue:
+            return candidate
+    raise SwitchError(
+        f"could not pin {field} onto queue {queue} within {max_tries} candidates"
+    )

@@ -1,0 +1,250 @@
+"""The sharded multi-PMD datapath: N per-core pipelines behind RSS dispatch.
+
+OVS-DPDK deployments run one poll-mode-driver (PMD) thread per dedicated
+core, and the NIC's RSS hash spreads flows across them.  Crucially, *every
+cache level is per-PMD*: each core owns a private microflow cache, kernel
+mask cache, megaflow classifier and accelerator.  The tuple-space-explosion
+attack therefore has a per-core blast radius — a mask staircase detonates
+only in the shards whose queues carried the crafting packets, and only the
+victims RSS co-scheduled onto those cores pay the scan (arXiv:2011.09107).
+
+:class:`ShardedDatapath` models this by composing N independent
+:class:`~repro.switch.datapath.Datapath` shards behind an
+:class:`~repro.switch.rss.RssDispatcher`.  It exposes the same processing
+surface as a single datapath (``process`` / ``process_batch`` /
+``kill_entry`` / ``evict_idle`` / aggregate counters), so the hypervisor,
+revalidator, MFCGuard and dpctl drive either interchangeably; per-shard
+structure is reachable through ``.shards`` for per-core accounting.
+
+Sharding invariants (see ROADMAP.md):
+
+* dicts-as-truth and batch ≡ sequential hold *per shard* — each shard is a
+  full, independently correct Datapath;
+* RSS assignment is stable for a flow's lifetime, so a flow's megaflow,
+  microflow and memo state live in exactly one shard;
+* with ``n_shards=1`` the behaviour is verdict-for-verdict identical to a
+  plain :class:`Datapath` (property-tested in ``tests/test_shard.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.classifier.flowtable import FlowTable
+from repro.classifier.tss import MegaflowEntry
+from repro.packet.fields import FlowKey
+from repro.packet.packet import Packet
+from repro.switch.datapath import (
+    BatchVerdicts,
+    Datapath,
+    DatapathConfig,
+    DatapathStats,
+    PacketVerdict,
+)
+from repro.switch.rss import RssDispatcher, five_tuple_hash
+
+__all__ = ["ShardBatchVerdicts", "ShardedDatapath", "AnyDatapath"]
+
+
+@dataclass(frozen=True)
+class ShardBatchVerdicts(BatchVerdicts):
+    """One sharded batch: per-packet verdicts plus their RSS placement.
+
+    Attributes:
+        shard_ids: the shard each packet was dispatched to, aligned with
+            ``verdicts``.  ``mask_counts`` carries the *owning shard's*
+            mask count before each packet — per-core cost accounting needs
+            the core-local value, not an aggregate.
+    """
+
+    shard_ids: tuple[int, ...] = ()
+
+
+class ShardedDatapath:
+    """N per-PMD :class:`Datapath` shards behind an RSS dispatcher.
+
+    Args:
+        flow_table: the shared slow-path classifier (one control plane; a
+            flow-table change revalidates — flushes — every shard).
+        config: per-shard datapath knobs, applied to each shard.
+        n_shards: PMD core / receive-queue count.
+        hash_fn: pluggable RSS hash (see :mod:`repro.switch.rss`).
+        rss: a pre-built dispatcher; when given it is authoritative and
+            ``n_shards``/``hash_fn`` are ignored.
+    """
+
+    def __init__(
+        self,
+        flow_table: FlowTable,
+        config: DatapathConfig | None = None,
+        n_shards: int = 1,
+        hash_fn: Callable[[FlowKey], int] = five_tuple_hash,
+        rss: RssDispatcher | None = None,
+    ):
+        if rss is not None:
+            n_shards = rss.n_queues  # the dispatcher is authoritative
+        else:
+            rss = RssDispatcher(n_shards, hash_fn=hash_fn)
+        self.config = config or DatapathConfig()
+        self.flow_table = flow_table
+        self.rss = rss
+        # Each shard subscribes itself to flow-table revalidation flushes.
+        self._shards = tuple(Datapath(flow_table, self.config) for _ in range(n_shards))
+
+    # -- sharding surface ---------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Number of PMD shards."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[Datapath, ...]:
+        """The per-PMD shard datapaths, indexed by queue id."""
+        return self._shards
+
+    def shard_of(self, key: FlowKey) -> int:
+        """The shard RSS dispatches ``key``'s flow to."""
+        return self.rss.queue_of(key)
+
+    # -- aggregate cache sizes ----------------------------------------------------
+    @property
+    def n_masks(self) -> int:
+        """Distinct megaflow masks across all shards (the figure of merit).
+
+        A mask installed in several shards counts once — this is the size
+        of the tuple space the attack has carved, comparable across shard
+        counts.  Per-core scan length is ``shards[i].n_masks``; the summed
+        table count is :attr:`n_mask_tables`.
+        """
+        if len(self._shards) == 1:
+            return self._shards[0].n_masks
+        distinct = set()
+        for shard in self._shards:
+            distinct.update(shard.megaflows.masks())
+        return len(distinct)
+
+    @property
+    def n_mask_tables(self) -> int:
+        """Total per-shard mask tables (what revalidation/memory see)."""
+        return sum(shard.n_masks for shard in self._shards)
+
+    @property
+    def n_megaflows(self) -> int:
+        """Total megaflow entries across all shards."""
+        return sum(shard.n_megaflows for shard in self._shards)
+
+    @property
+    def now(self) -> float:
+        """The most advanced shard clock."""
+        return max(shard.now for shard in self._shards)
+
+    @property
+    def stats(self) -> DatapathStats:
+        """Aggregate counters summed across shards (a fresh snapshot)."""
+        total = DatapathStats()
+        for shard in self._shards:
+            for field in total.__dataclass_fields__:
+                setattr(total, field, getattr(total, field) + getattr(shard.stats, field))
+        return total
+
+    # -- packet processing --------------------------------------------------------
+    def process(self, key: FlowKey, now: float | None = None) -> PacketVerdict:
+        """Classify one packet on the shard RSS assigns it to."""
+        return self._shards[self.shard_of(key)].process(key, now=now)
+
+    def process_batch(
+        self, keys: Sequence[FlowKey], now: float | None = None
+    ) -> ShardBatchVerdicts:
+        """RSS-partition a batch and run each sub-batch on its shard.
+
+        Per-shard sub-batches preserve arrival order, so within a shard
+        this is exactly that shard's ``process_batch``; across shards the
+        pipelines are independent, so any interleaving is equivalent.  The
+        result is reassembled in arrival order with each packet's shard id
+        and its shard-local pre-packet mask count.
+        """
+        keys = list(keys)
+        buckets = self.rss.partition(keys)
+        assignment_list = [0] * len(keys)
+        for shard_id, indices in buckets.items():
+            for index in indices:
+                assignment_list[index] = shard_id
+        assignment = tuple(assignment_list)
+        verdicts: list[PacketVerdict | None] = [None] * len(keys)
+        mask_counts = [0] * len(keys)
+        for shard_id, indices in buckets.items():
+            batch = self._shards[shard_id].process_batch(
+                [keys[i] for i in indices], now=now
+            )
+            for position, index in enumerate(indices):
+                verdicts[index] = batch.verdicts[position]
+                mask_counts[index] = batch.mask_counts[position]
+        return ShardBatchVerdicts(
+            verdicts=tuple(verdicts),
+            mask_counts=tuple(mask_counts),
+            shard_ids=assignment,
+        )
+
+    def process_packet(
+        self, packet: Packet, in_port: int = 0, now: float | None = None
+    ) -> PacketVerdict:
+        """Classify a concrete :class:`Packet` (wire-format convenience)."""
+        return self.process(packet.flow_key(in_port=in_port), now=now)
+
+    def process_packet_batch(
+        self, packets: Iterable[Packet], in_port: int = 0, now: float | None = None
+    ) -> ShardBatchVerdicts:
+        """Batch-classify concrete :class:`Packet` objects."""
+        return self.process_batch(
+            [packet.flow_key(in_port=in_port) for packet in packets], now=now
+        )
+
+    # -- management operations ----------------------------------------------------
+    def entries(self) -> Iterator[MegaflowEntry]:
+        """All megaflow entries across shards (shard-major order)."""
+        for shard in self._shards:
+            yield from shard.megaflows.entries()
+
+    def kill_entry(self, entry: MegaflowEntry, permanent: bool = True) -> bool:
+        """Remove a megaflow from every shard holding it (MFCGuard delete)."""
+        removed = False
+        for shard in self._shards:
+            if shard.megaflows.find_entry(entry):
+                removed = shard.kill_entry(entry, permanent=permanent) or removed
+        return removed
+
+    def reinject(self, entry: MegaflowEntry) -> None:
+        """Re-allow an entry previously killed permanently, on every shard."""
+        for shard in self._shards:
+            shard.reinject(entry)
+
+    def flush_caches(self) -> None:
+        """Drop every shard's cached state (flow-table revalidation)."""
+        for shard in self._shards:
+            shard.flush_caches()
+
+    def evict_idle(self, now: float | None = None) -> list[MegaflowEntry]:
+        """Evict idle megaflows on every shard; returns all evicted entries."""
+        evicted: list[MegaflowEntry] = []
+        for shard in self._shards:
+            evicted.extend(shard.evict_idle(now))
+        return evicted
+
+    def reset_stats(self) -> None:
+        """Zero every shard's aggregate counters."""
+        for shard in self._shards:
+            shard.reset_stats()
+
+    def __repr__(self) -> str:
+        per_shard = ", ".join(str(shard.n_masks) for shard in self._shards)
+        return (
+            f"ShardedDatapath({self.n_shards} shards, masks/shard [{per_shard}], "
+            f"{self.n_megaflows} megaflows)"
+        )
+
+
+# Anything the switch-management layers (revalidator, guard, dpctl,
+# hypervisor) can drive: both expose shards/n_masks/n_megaflows/kill_entry.
+AnyDatapath = Datapath | ShardedDatapath

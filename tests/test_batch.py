@@ -298,4 +298,5 @@ def test_inject_attack_batch_charges_like_sequential():
     assert [v.action for v in va] == [v.action for v in vb]
     assert [v.path for v in va] == [v.path for v in vb]
     assert a._upcalls == b._upcalls
-    assert abs(a._attack_units - b._attack_units) < 1e-6 * max(1.0, a._attack_units)
+    units_a, units_b = sum(a._attack_units), sum(b._attack_units)
+    assert abs(units_a - units_b) < 1e-6 * max(1.0, units_a)

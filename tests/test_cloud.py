@@ -18,7 +18,13 @@ from repro.packet.headers import PROTO_TCP
 
 class TestEnvironments:
     def test_three_testbeds(self):
-        assert set(ENVIRONMENTS) == {"Synthetic", "OpenStack", "Kubernetes"}
+        # The three Table 1 columns plus the multi-queue follow-up preset.
+        assert set(ENVIRONMENTS) == {
+            "Synthetic", "OpenStack", "Kubernetes", "Multiqueue"
+        }
+        for name in ("Synthetic", "OpenStack", "Kubernetes"):
+            assert ENVIRONMENTS[name].n_pmd == 1  # the paper's single-PMD SUTs
+        assert ENVIRONMENTS["Multiqueue"].n_pmd == 4
 
     def test_openstack_limits_acls(self):
         assert OPENSTACK_ENV.cms.max_use_case() == "SipDp"

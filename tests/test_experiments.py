@@ -29,8 +29,9 @@ from repro.exceptions import ExperimentError
 
 
 class TestRegistry:
-    def test_all_sixteen_experiments(self):
-        assert len(EXPERIMENTS) == 16
+    def test_all_seventeen_experiments(self):
+        assert len(EXPERIMENTS) == 17
+        assert "pmdsweep" in EXPERIMENTS
 
     def test_run_by_id(self):
         result = run_experiment("table1")

@@ -32,7 +32,7 @@ def test_strategy_tradeoff_ablation(benchmark, k):
     miss = FlowKey(ip_proto=PROTO_TCP, ip_src=0xDEAD, tp_src=1, tp_dst=60000)
 
     def scan():
-        cache._memo.clear()
+        cache.clear_memo()
         return cache.lookup(miss)
 
     benchmark(scan)
@@ -53,7 +53,7 @@ def test_scan_order_ablation(benchmark, policy):
     cache.shuffle_masks(seed=2)
 
     def victim_lookup():
-        cache._memo.clear()
+        cache.clear_memo()
         return cache.lookup(victim)
 
     result = benchmark(victim_lookup)
@@ -107,7 +107,7 @@ def test_mask_memo_ablation(benchmark, mask_cache):
     datapath.process(victim)
 
     def established_lookup():
-        datapath.megaflows._memo.clear()
+        datapath.megaflows.clear_memo()
         return datapath.process(victim)
 
     verdict = benchmark(established_lookup)

@@ -1,0 +1,108 @@
+"""Megaflow-backend benchmarks: the grouped backend defuses the detonation.
+
+Two guards, persisted to ``results/BENCH_backend.json``:
+
+* **Equivalence** — on the detonated (8k+ mask) SipSpDp replay the
+  TupleChain-style grouped backend is verdict-for-verdict and
+  path-for-path identical to TSS, with the same installed entry/mask
+  sets.  (``masks_inspected`` intentionally differs: it is reported in
+  backend-native probe units — chain probes vs mask tables scanned.)
+* **Defense speedup** — replaying the §6.2 attack keys against the
+  exploded cache must run >= 3x the packets/sec of the TSS batch
+  pipeline: the whole point of grouping is that per-lookup probes grow
+  with the group/chain structure (3 groups, ~60 probes) instead of the
+  8,209-mask scan the attack built.
+
+Workload builders and replay timers live in :mod:`benchmarks.common`.
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_backend.py -q -s
+"""
+
+from __future__ import annotations
+
+from common import (
+    ATTACK_BUDGET,
+    BATCH_SIZE,
+    publish,
+    replay_batch_pps,
+    section62_trace,
+    warmed,
+)
+from repro.core.usecases import SIPSPDP
+
+SPEEDUP_FLOOR = 3.0
+
+
+def test_grouped_backend_replay_speedup():
+    """Grouped replay >= 3x TSS on the 8k-mask detonation, verdict-identical."""
+    keys = section62_trace()
+    tss_dp = warmed(keys, backend="tss")
+    chain_dp = warmed(keys, backend="tuplechain")
+
+    n_masks = tss_dp.n_masks
+    assert n_masks >= 1000, f"workload too small: {n_masks} masks"
+    assert chain_dp.n_masks == n_masks
+
+    # Equivalence before timing anything: same verdicts, same paths, same
+    # installed cache contents.  Probe units are backend-native, so
+    # masks_inspected is *not* compared across backends.
+    tss_dp.megaflows.clear_memo()
+    chain_dp.megaflows.clear_memo()
+    expected = list(tss_dp.process_batch(keys).verdicts)
+    got = list(chain_dp.process_batch(keys).verdicts)
+    assert [v.action for v in expected] == [v.action for v in got]
+    assert [v.path for v in expected] == [v.path for v in got]
+    assert set(tss_dp.megaflows.masks()) == set(chain_dp.megaflows.masks())
+    assert {(e.mask.values, e.key) for e in tss_dp.megaflows.entries()} == {
+        (e.mask.values, e.key) for e in chain_dp.megaflows.entries()
+    }
+
+    # The grouped structure really is sublinear: probes per lookup stay
+    # orders of magnitude below the mask count the attack installed.
+    chain_dp.megaflows.clear_memo()
+    probes = [v.masks_inspected for v in chain_dp.process_batch(keys).verdicts]
+    mean_probes = sum(probes) / len(probes)
+    assert max(probes) < n_masks / 10, (max(probes), n_masks)
+
+    tss_pps = replay_batch_pps(tss_dp, keys)
+    chain_pps = replay_batch_pps(chain_dp, keys)
+    speedup = chain_pps / tss_pps
+
+    publish(
+        "backend",
+        {
+            "workload": "section62-random-replay",
+            "use_case": SIPSPDP.name,
+            "attack_budget_packets": ATTACK_BUDGET,
+            "batch_size": BATCH_SIZE,
+            "masks": n_masks,
+            "megaflow_entries": tss_dp.n_megaflows,
+            "tuplechain_groups": chain_dp.megaflows.n_groups,
+            "tuplechain_mean_probe_units": round(mean_probes, 1),
+            "tuplechain_max_probe_units": max(probes),
+            "tss_pps": round(tss_pps, 1),
+            "tuplechain_pps": round(chain_pps, 1),
+            "speedup_tuplechain_vs_tss": round(speedup, 2),
+        },
+    )
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"grouped replay only {speedup:.2f}x TSS "
+        f"({chain_pps:.0f} vs {tss_pps:.0f} pps at {n_masks} masks)"
+    )
+
+
+def test_backend_benchmark(benchmark):
+    """pytest-benchmark hook for the grouped replay (trajectory tracking)."""
+    keys = section62_trace()
+    datapath = warmed(keys, backend="tuplechain")
+
+    def replay():
+        datapath.megaflows.clear_memo()
+        total = 0
+        for offset in range(0, len(keys), BATCH_SIZE):
+            total += len(datapath.process_batch(keys[offset : offset + BATCH_SIZE]))
+        return total
+
+    assert benchmark(replay) == len(keys)

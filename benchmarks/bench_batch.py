@@ -11,93 +11,35 @@ second.  A second guard times megaflow inserts at two scales to prove the
 accelerator's amortised append-buffer keeps insert cost linear (the old
 per-insert ``np.insert`` made a detonating attack quadratic).
 
-Results are printed and persisted to ``results/BENCH_batch.json`` so the
-performance trajectory is tracked from this PR onward::
+Workload builders and replay timers live in :mod:`benchmarks.common`
+(shared with ``bench_shard`` and ``bench_backend``).  Results are printed
+and persisted to ``results/BENCH_batch.json`` so the performance
+trajectory is tracked from this PR onward::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q -s
 """
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
+from common import (
+    ATTACK_BUDGET,
+    BATCH_SIZE,
+    attack_datapath,
+    publish,
+    replay_batch_pps,
+    replay_sequential_pps,
+    section62_trace,
+    warmed,
+)
 from repro.classifier.actions import ALLOW
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.tss import MegaflowEntry, TupleSpaceSearch
-from repro.core.general import GeneralTraceGenerator
-from repro.core.tracegen import ColocatedTraceGenerator
 from repro.core.usecases import SIPSPDP
 from repro.packet.fields import FlowKey, FlowMask
-from repro.packet.headers import PROTO_TCP
-from repro.switch.datapath import Datapath, DatapathConfig
 
-RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
-
-# REPRO_BENCH_SMOKE=1 (CI) shrinks the replay and timing rounds — the
-# guards still bite (the SipSpDp detonation dominates the mask count),
-# they just stop dominating CI wall-clock.
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-
-ATTACK_BUDGET = 400 if SMOKE else 1000  # §6.2's small budget; explodes SipSpDp past 1k masks
-BATCH_SIZE = 256
 SPEEDUP_FLOOR = 5.0
-ROUNDS = 1 if SMOKE else 3
-
-
-def section62_trace(seed: int = 0) -> list[FlowKey]:
-    """The §6.2 random attack trace: uniform keys over the attacked fields."""
-    source = GeneralTraceGenerator(
-        fields=SIPSPDP.allow_fields, base={"ip_proto": PROTO_TCP}, seed=seed
-    )
-    return list(source.keys(ATTACK_BUDGET))
-
-
-def attack_datapath() -> Datapath:
-    # Microflows off: attack traffic thrashes the tiny exact-match cache
-    # anyway, and the contest under measure is the tuple-space scan.
-    return Datapath(SIPSPDP.build_table(), DatapathConfig(microflow_capacity=0))
-
-
-def warmed(keys: list[FlowKey]) -> Datapath:
-    """A datapath with the attack detonated and ``keys`` installed.
-
-    The co-located trace blows the tuple space past 8,000 masks (§5);
-    the replay keys then install their own megaflows on top, so replaying
-    them exercises pure fast-path scans over an exploded mask list.
-    """
-    datapath = attack_datapath()
-    trace = ColocatedTraceGenerator(
-        datapath.flow_table, base={"ip_proto": PROTO_TCP}
-    ).generate()
-    datapath.process_batch(list(trace.keys))
-    datapath.megaflows.shuffle_masks(seed=1)  # steady-state scan order
-    datapath.process_batch(keys)
-    return datapath
-
-
-def _replay_sequential(datapath: Datapath, keys: list[FlowKey]) -> float:
-    best = float("inf")
-    for _ in range(ROUNDS):
-        datapath.megaflows._memo.clear()  # measure scans, not the replay memo
-        start = time.perf_counter()
-        for key in keys:
-            datapath.process(key)
-        best = min(best, time.perf_counter() - start)
-    return len(keys) / best
-
-
-def _replay_batch(datapath: Datapath, keys: list[FlowKey]) -> float:
-    best = float("inf")
-    for _ in range(ROUNDS):
-        datapath.megaflows._memo.clear()
-        start = time.perf_counter()
-        for offset in range(0, len(keys), BATCH_SIZE):
-            datapath.process_batch(keys[offset : offset + BATCH_SIZE])
-        best = min(best, time.perf_counter() - start)
-    return len(keys) / best
 
 
 def _time_single_mask_inserts(count: int) -> float:
@@ -115,15 +57,6 @@ def _time_single_mask_inserts(count: int) -> float:
     return elapsed
 
 
-def _publish(payload: dict) -> None:
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / "BENCH_batch.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"\nBENCH_batch -> {path}")
-    for key, value in sorted(payload.items()):
-        print(f"  {key}: {value}")
-
-
 def test_batch_replay_speedup():
     """§6.2 attack replay: process_batch >= 5x process, verdict-identical."""
     keys = section62_trace()
@@ -134,23 +67,24 @@ def test_batch_replay_speedup():
     assert n_masks >= 1000, f"workload too small: {n_masks} masks"
 
     # Verdict equivalence on the replay pass before timing anything.
-    sequential_dp.megaflows._memo.clear()
-    batch_dp.megaflows._memo.clear()
+    sequential_dp.megaflows.clear_memo()
+    batch_dp.megaflows.clear_memo()
     expected = [sequential_dp.process(k) for k in keys]
     got = list(batch_dp.process_batch(keys).verdicts)
     assert [v.action for v in expected] == [v.action for v in got]
     assert [v.masks_inspected for v in expected] == [v.masks_inspected for v in got]
     assert [v.path for v in expected] == [v.path for v in got]
 
-    sequential_pps = _replay_sequential(sequential_dp, keys)
-    batch_pps = _replay_batch(batch_dp, keys)
+    sequential_pps = replay_sequential_pps(sequential_dp, keys)
+    batch_pps = replay_batch_pps(batch_dp, keys)
     speedup = batch_pps / sequential_pps
 
     insert_2500 = _time_single_mask_inserts(2_500)
     insert_10k = _time_single_mask_inserts(10_000)
     insert_ratio = insert_10k / insert_2500
 
-    _publish(
+    publish(
+        "batch",
         {
             "workload": "section62-random-replay",
             "use_case": SIPSPDP.name,
@@ -164,7 +98,7 @@ def test_batch_replay_speedup():
             "insert_2500_seconds": round(insert_2500, 4),
             "insert_10k_seconds": round(insert_10k, 4),
             "insert_ratio_10k_vs_2500": round(insert_ratio, 2),
-        }
+        },
     )
 
     assert speedup >= SPEEDUP_FLOOR, (
@@ -186,7 +120,7 @@ def test_batch_replay_benchmark(benchmark):
     datapath = warmed(keys)
 
     def replay():
-        datapath.megaflows._memo.clear()
+        datapath.megaflows.clear_memo()
         total = 0
         for offset in range(0, len(keys), BATCH_SIZE):
             total += len(datapath.process_batch(keys[offset : offset + BATCH_SIZE]))

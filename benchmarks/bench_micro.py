@@ -35,7 +35,7 @@ def test_tss_lookup_scaling(benchmark, use_case):
 
     def fresh_scan():
         # Bypass the memo: a distinct key every call via TTL jitter field.
-        cache._memo.clear()
+        cache.clear_memo()
         return cache.lookup(misses[0])
 
     result = benchmark(fresh_scan)

@@ -13,6 +13,7 @@ Two guards, persisted to ``results/BENCH_shard.json``:
   PMD count and (b) a queue-concentrated trace collapsing only the victim
   RSS co-scheduled with it, the other cores' victims holding ~baseline.
 
+Workload builders and replay timers live in :mod:`benchmarks.common`.
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_shard.py -q -s
@@ -20,81 +21,19 @@ Run with::
 
 from __future__ import annotations
 
-import json
-import os
-import time
-from pathlib import Path
-
-from repro.core.general import GeneralTraceGenerator
-from repro.core.tracegen import ColocatedTraceGenerator
+from common import (
+    BATCH_SIZE,
+    clear_memos,
+    publish,
+    replay_batch_pps,
+    section62_trace,
+    warmed_sharded,
+)
 from repro.core.usecases import SIPSPDP
 from repro.experiments import pmdsweep
-from repro.packet.fields import FlowKey
-from repro.packet.headers import PROTO_TCP
-from repro.switch.datapath import DatapathConfig
-from repro.switch.sharded import ShardedDatapath
 
-RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
-
-# REPRO_BENCH_SMOKE=1 (CI) shrinks the replay and timing rounds.
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-
-ATTACK_BUDGET = 400 if SMOKE else 1000  # replay size (the §6.2 budget, as in bench_batch)
-BATCH_SIZE = 256
-ROUNDS = 1 if SMOKE else 3
 SPEEDUP_FLOOR = 2.0
 N_SHARDS = 4
-
-
-def section62_trace(seed: int = 0) -> list[FlowKey]:
-    source = GeneralTraceGenerator(
-        fields=SIPSPDP.allow_fields, base={"ip_proto": PROTO_TCP}, seed=seed
-    )
-    return list(source.keys(ATTACK_BUDGET))
-
-
-def warmed_sharded(n_shards: int, keys: list[FlowKey]) -> ShardedDatapath:
-    """A sharded datapath with the SipSpDp attack detonated and ``keys`` installed.
-
-    The crafted staircase keys differ in their attacked-field bits, so the
-    RSS hash spreads the detonation across shards naturally (asserted
-    below) — the "spread attack" placement.
-    """
-    datapath = ShardedDatapath(
-        SIPSPDP.build_table(),
-        DatapathConfig(microflow_capacity=0),
-        n_shards=n_shards,
-    )
-    trace = ColocatedTraceGenerator(
-        datapath.flow_table, base={"ip_proto": PROTO_TCP}
-    ).generate()
-    datapath.process_batch(list(trace.keys))
-    for shard in datapath.shards:
-        shard.megaflows.shuffle_masks(seed=1)  # steady-state scan order
-    datapath.process_batch(keys)
-    return datapath
-
-
-def _replay_pps(datapath: ShardedDatapath, keys: list[FlowKey]) -> float:
-    best = float("inf")
-    for _ in range(ROUNDS):
-        for shard in datapath.shards:
-            shard.megaflows._memo.clear()  # measure scans, not the replay memo
-        start = time.perf_counter()
-        for offset in range(0, len(keys), BATCH_SIZE):
-            datapath.process_batch(keys[offset : offset + BATCH_SIZE])
-        best = min(best, time.perf_counter() - start)
-    return len(keys) / best
-
-
-def _publish(payload: dict) -> None:
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / "BENCH_shard.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"\nBENCH_shard -> {path}")
-    for key, value in sorted(payload.items()):
-        print(f"  {key}: {value}")
-
 
 _PAYLOAD: dict = {}
 
@@ -115,14 +54,13 @@ def test_spread_replay_speedup():
 
     # Same verdicts either way before timing anything (aggregate view).
     for datapath in (single, sharded):
-        for shard in datapath.shards:
-            shard.megaflows._memo.clear()
+        clear_memos(datapath)
     expected = [v.action for v in single.process_batch(keys).verdicts]
     got = [v.action for v in sharded.process_batch(keys).verdicts]
     assert expected == got
 
-    single_pps = _replay_pps(single, keys)
-    sharded_pps = _replay_pps(sharded, keys)
+    single_pps = replay_batch_pps(single, keys)
+    sharded_pps = replay_batch_pps(sharded, keys)
     speedup = sharded_pps / single_pps
 
     _PAYLOAD.update(
@@ -138,7 +76,7 @@ def test_spread_replay_speedup():
             "speedup_4_vs_1": round(speedup, 2),
         }
     )
-    _publish(_PAYLOAD)
+    publish("shard", _PAYLOAD)
     assert speedup >= SPEEDUP_FLOOR, (
         f"4-shard replay only {speedup:.2f}x single shard "
         f"({sharded_pps:.0f} vs {single_pps:.0f} pps)"
@@ -187,4 +125,4 @@ def test_queue_isolation_scenario():
             "spread_masks_per_shard_4pmd": spread_4["masks_per_shard"],
         }
     )
-    _publish(_PAYLOAD)
+    publish("shard", _PAYLOAD)

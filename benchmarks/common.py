@@ -1,0 +1,142 @@
+"""Shared harness for the perf-guard benchmarks (batch / shard / backend).
+
+The three datapath benchmarks replay the same workload — the §6.2 random
+attack trace against a SipSpDp cache the co-located §5 trace has already
+detonated past 8,000 masks — and guard different effects (batching
+speedup, shard dilution, backend probe-boundedness).  This module holds
+the one copy of the workload builders, the replay timers, and the
+``results/BENCH_*.json`` publisher they share.
+
+``REPRO_BENCH_SMOKE=1`` (CI) shrinks the replay and timing rounds — the
+guards still bite (the SipSpDp detonation dominates the mask count), they
+just stop dominating CI wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.general import GeneralTraceGenerator
+from repro.core.tracegen import ColocatedTraceGenerator
+from repro.core.usecases import SIPSPDP
+from repro.packet.fields import FlowKey
+from repro.packet.headers import PROTO_TCP
+from repro.switch.datapath import Datapath, DatapathConfig
+from repro.switch.sharded import AnyDatapath, ShardedDatapath
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+# §6.2's small budget; explodes SipSpDp past 1k masks even in smoke runs.
+ATTACK_BUDGET = 400 if SMOKE else 1000
+BATCH_SIZE = 256
+ROUNDS = 1 if SMOKE else 3
+
+
+def section62_trace(seed: int = 0, budget: int | None = None) -> list[FlowKey]:
+    """The §6.2 random attack trace: uniform keys over the attacked fields."""
+    source = GeneralTraceGenerator(
+        fields=SIPSPDP.allow_fields, base={"ip_proto": PROTO_TCP}, seed=seed
+    )
+    return list(source.keys(ATTACK_BUDGET if budget is None else budget))
+
+
+def attack_datapath(backend: str = "tss") -> Datapath:
+    """A fresh SipSpDp datapath (microflows off: the scan is under test)."""
+    return Datapath(
+        SIPSPDP.build_table(),
+        DatapathConfig(microflow_capacity=0, megaflow_backend=backend),
+    )
+
+
+def detonate(datapath: AnyDatapath, keys: Sequence[FlowKey]) -> None:
+    """Blow the tuple space past 8,000 masks and install ``keys``' megaflows.
+
+    The co-located trace carves the full SipSpDp staircase (§5); the
+    replay keys then install their own megaflows on top, so replaying
+    them afterwards exercises pure fast-path scans over an exploded mask
+    list.  Mask order is shuffled into the steady state the paper's cost
+    model assumes.
+    """
+    trace = ColocatedTraceGenerator(
+        datapath.flow_table, base={"ip_proto": PROTO_TCP}
+    ).generate()
+    datapath.process_batch(list(trace.keys))
+    for shard in datapath.shards:
+        shard.megaflows.shuffle_masks(seed=1)
+    datapath.process_batch(list(keys))
+
+
+def warmed(keys: Sequence[FlowKey], backend: str = "tss") -> Datapath:
+    """A single datapath with the attack detonated and ``keys`` installed."""
+    datapath = attack_datapath(backend)
+    detonate(datapath, keys)
+    return datapath
+
+
+def warmed_sharded(
+    n_shards: int, keys: Sequence[FlowKey], backend: str = "tss"
+) -> ShardedDatapath:
+    """A sharded datapath with the detonation spread by the natural RSS."""
+    datapath = ShardedDatapath(
+        SIPSPDP.build_table(),
+        DatapathConfig(microflow_capacity=0, megaflow_backend=backend),
+        n_shards=n_shards,
+    )
+    detonate(datapath, keys)
+    return datapath
+
+
+def clear_memos(datapath: AnyDatapath) -> None:
+    """Drop every shard's lookup memo (measure scans, not the replay memo)."""
+    for shard in datapath.shards:
+        shard.megaflows.clear_memo()
+
+
+def replay_batch_pps(
+    datapath: AnyDatapath,
+    keys: Sequence[FlowKey],
+    batch_size: int = BATCH_SIZE,
+    rounds: int = ROUNDS,
+) -> float:
+    """Best-of-``rounds`` packets/sec for a batched replay of ``keys``."""
+    keys = list(keys)
+    best = float("inf")
+    for _ in range(rounds):
+        clear_memos(datapath)
+        start = time.perf_counter()
+        for offset in range(0, len(keys), batch_size):
+            datapath.process_batch(keys[offset : offset + batch_size])
+        best = min(best, time.perf_counter() - start)
+    return len(keys) / best
+
+
+def replay_sequential_pps(
+    datapath: AnyDatapath, keys: Sequence[FlowKey], rounds: int = ROUNDS
+) -> float:
+    """Best-of-``rounds`` packets/sec for a per-packet replay of ``keys``."""
+    keys = list(keys)
+    best = float("inf")
+    for _ in range(rounds):
+        clear_memos(datapath)
+        start = time.perf_counter()
+        for key in keys:
+            datapath.process(key)
+        best = min(best, time.perf_counter() - start)
+    return len(keys) / best
+
+
+def publish(name: str, payload: dict) -> Path:
+    """Write ``results/BENCH_<name>.json`` and print the payload."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nBENCH_{name} -> {path}")
+    for key, value in sorted(payload.items()):
+        print(f"  {key}: {value}")
+    return path

@@ -4,9 +4,10 @@ Attack Against a Software Packet Classifier" (Csikor et al., CoNEXT 2019).
 The package provides, in layers:
 
 * :mod:`repro.packet` — packet crafting (headers, checksums, pcap I/O);
-* :mod:`repro.classifier` — flow tables, the Tuple Space Search megaflow
-  cache with its generation strategies, and the alternative classifiers
-  of §7 (tries, HyperCuts, HaRP);
+* :mod:`repro.classifier` — flow tables, the pluggable megaflow backends
+  (Tuple Space Search, TupleChain-style grouped lookup) with their
+  generation strategies, and the alternative classifiers of §7 (tries,
+  HyperCuts, HaRP);
 * :mod:`repro.switch` — the OVS-like datapath, revalidator, NIC offload
   profiles and the calibrated cost model;
 * :mod:`repro.netsim` — the simulated cloud testbeds of Fig. 7;
@@ -28,10 +29,13 @@ from repro.classifier import (
     FlowRule,
     FlowTable,
     Match,
+    MegaflowBackend,
     MegaflowEntry,
     MegaflowGenerator,
     MicroflowCache,
+    TupleChainSearch,
     TupleSpaceSearch,
+    make_megaflow_backend,
 )
 from repro.core import (
     SIPSPDP,
@@ -62,6 +66,9 @@ __all__ = [
     "ALLOW",
     "DENY",
     "TupleSpaceSearch",
+    "TupleChainSearch",
+    "MegaflowBackend",
+    "make_megaflow_backend",
     "MegaflowEntry",
     "MegaflowGenerator",
     "MicroflowCache",

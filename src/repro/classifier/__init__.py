@@ -1,6 +1,39 @@
-"""Packet classification substrates: flow tables, TSS cache, alternatives."""
+"""Packet classification substrates: flow tables, megaflow backends, alternatives.
+
+Two registries live here:
+
+* **Megaflow backends** — implementations of the
+  :class:`~repro.classifier.backend.MegaflowBackend` protocol that can
+  serve as a datapath's level-3 cache
+  (``DatapathConfig(megaflow_backend=...)``): ``"tss"`` (the paper's Tuple
+  Space Search) and ``"tuplechain"`` (grouped/chained lookup à la
+  TupleChain, arXiv:2408.04390).  Extend with
+  :func:`register_megaflow_backend`.
+* **§7 comparison classifiers** — :func:`section7_registry` maps the
+  comparison lineup's names to factories over a rule list: one cached
+  datapath per *currently registered* megaflow backend, plus the
+  traffic-independent alternatives (linear search, hierarchical tries,
+  HyperCuts, HaRP).  :func:`section7_classifiers` builds the full
+  lineup; the ``comparison`` experiment and
+  ``examples/classifier_comparison.py`` consume it.
+"""
+
+from typing import Callable, Sequence
 
 from repro.classifier.actions import ALLOW, DENY, Action, ActionKind
+from repro.classifier.backend import (
+    ENTRY_BYTES,
+    MASK_BYTES,
+    BatchLookupResult,
+    LookupResult,
+    MegaflowBackend,
+    MegaflowEntry,
+    MegaflowStore,
+    TssLookupResult,
+    make_megaflow_backend,
+    megaflow_backend_names,
+    register_megaflow_backend,
+)
 from repro.classifier.base import ClassifierResult, PacketClassifier
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.harp import HarpClassifier
@@ -17,14 +50,8 @@ from repro.classifier.slowpath import (
     SlowPathResult,
     StrategyConfig,
 )
-from repro.classifier.tss import (
-    ENTRY_BYTES,
-    MASK_BYTES,
-    BatchLookupResult,
-    MegaflowEntry,
-    TssLookupResult,
-    TupleSpaceSearch,
-)
+from repro.classifier.tss import TupleSpaceSearch
+from repro.classifier.tuplechain import TupleChainSearch
 
 __all__ = [
     "Action",
@@ -34,12 +61,19 @@ __all__ = [
     "Match",
     "FlowRule",
     "FlowTable",
+    "MegaflowBackend",
+    "MegaflowStore",
     "TupleSpaceSearch",
+    "TupleChainSearch",
     "MegaflowEntry",
     "TssLookupResult",
+    "LookupResult",
     "BatchLookupResult",
     "ENTRY_BYTES",
     "MASK_BYTES",
+    "make_megaflow_backend",
+    "megaflow_backend_names",
+    "register_megaflow_backend",
     "MicroflowCache",
     "MegaflowGenerator",
     "SlowPathResult",
@@ -54,4 +88,46 @@ __all__ = [
     "HyperCutsClassifier",
     "HarpClassifier",
     "prefix_length",
+    "section7_registry",
+    "section7_classifiers",
 ]
+
+
+def _cached(backend: str) -> Callable[[list], PacketClassifier]:
+    def build(rules: list) -> PacketClassifier:
+        # Imported lazily: the adapter pulls in the switch layer, which
+        # imports back into this package at module-import time.
+        from repro.classifier.adapter import TssCachedClassifier
+
+        return TssCachedClassifier(rules, backend=backend)
+
+    return build
+
+
+def section7_registry() -> dict[str, Callable[[list], PacketClassifier]]:
+    """The §7 comparison lineup: classifier name -> factory over a rule list.
+
+    Built fresh on every call so a megaflow backend registered *after*
+    import (the documented extension point) still joins the lineup: one
+    ``"<backend>-cache"`` datapath per registered backend, then the
+    traffic-independent long-term-mitigation alternatives.
+    """
+    lineup: dict[str, Callable[[list], PacketClassifier]] = {
+        f"{name}-cache": _cached(name) for name in megaflow_backend_names()
+    }
+    lineup.update(
+        {
+            "linear": LinearSearchClassifier,
+            "hierarchical-tries": HierarchicalTrieClassifier,
+            "hypercuts": HyperCutsClassifier,
+            "harp": HarpClassifier,
+        }
+    )
+    return lineup
+
+
+def section7_classifiers(rules: list, names: Sequence[str] | None = None) -> tuple[PacketClassifier, ...]:
+    """Build the §7 comparison lineup over ``rules`` (all names by default)."""
+    registry = section7_registry()
+    selected = names if names is not None else tuple(registry)
+    return tuple(registry[name](list(rules)) for name in selected)

@@ -1,13 +1,19 @@
-"""Adapter exposing the TSS-cached datapath through the classifier interface.
+"""Adapter exposing a megaflow-cached datapath through the classifier interface.
 
 Used by the §7 comparison: the other classifiers are traffic-independent,
-while this one's per-lookup cost (mask tables probed, plus the slow-path
-rule scan on misses) grows as attack traffic explodes the tuple space —
-the comparison benchmark plots exactly that contrast.
+while a cached datapath's per-lookup cost (megaflow probe units, plus the
+slow-path rule scan on misses) depends on what the traffic history did to
+its cache.  For the TSS backend that cost explodes as attack traffic
+detonates the tuple space; for the TupleChain-style grouped backend it
+stays bounded — the comparison benchmark plots exactly that contrast, by
+running one adapter instance per registered megaflow backend.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
+
+from repro.classifier.backend import MegaflowBackend, backend_name_of
 from repro.classifier.base import ClassifierResult, PacketClassifier
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import FlowRule
@@ -18,21 +24,36 @@ __all__ = ["TssCachedClassifier"]
 
 
 class TssCachedClassifier(PacketClassifier):
-    """A datapath-backed classifier (microflow + TSS megaflow + slow path).
+    """A datapath-backed classifier (microflow + megaflow cache + slow path).
 
     Args:
         rules: the rule list (loaded into a private flow table).
         config: datapath knobs; the default disables the microflow cache so
-            the comparison measures the TSS scan itself.
+            the comparison measures the megaflow lookup itself.
+        backend: which megaflow cache backs the datapath — a registry name
+            (``"tss"``, ``"tuplechain"``) or an injected pre-built
+            :class:`~repro.classifier.backend.MegaflowBackend` instance.
+            The classifier's reported name becomes ``"<backend>-cache"``.
     """
 
     name = "tss-cache"
 
-    def __init__(self, rules: list[FlowRule], config: DatapathConfig | None = None):
-        table = FlowTable(rules=list(rules), name="tss-adapter")
-        self.datapath = Datapath(
-            table, config or DatapathConfig(microflow_capacity=0)
-        )
+    def __init__(
+        self,
+        rules: list[FlowRule],
+        config: DatapathConfig | None = None,
+        backend: str | MegaflowBackend = "tss",
+    ):
+        table = FlowTable(rules=list(rules), name="cache-adapter")
+        config = config or DatapathConfig(microflow_capacity=0)
+        if isinstance(backend, str):
+            config = dc_replace(config, megaflow_backend=backend)
+            self.name = f"{backend}-cache"
+            self.datapath = Datapath(table, config)
+        else:
+            registered = backend_name_of(backend)
+            self.name = f"{registered or type(backend).__name__.lower()}-cache"
+            self.datapath = Datapath(table, config, megaflows=backend)
         self._clock = 0.0
 
     def classify(self, key: FlowKey) -> ClassifierResult:

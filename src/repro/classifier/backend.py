@@ -1,0 +1,647 @@
+"""The pluggable megaflow-backend layer: protocol, shared store, registry.
+
+The datapath's level-3 cache — the structure the TSE attack detonates — is
+not inherently Tuple Space Search.  §7 of the paper argues the attack is
+*algorithmic*: it targets the O(|masks|) scan of TSS specifically, and
+classifiers whose lookup cost does not grow with the installed mask count
+resist it (TupleChain, arXiv:2408.04390, keeps scan cost sublinear in the
+mask count by chaining compatible masks into groups).  This module is the
+seam that makes the megaflow cache swappable:
+
+* :class:`MegaflowBackend` — the protocol every backend implements.  It is
+  exactly the surface the switch layers pull out of the cache today:
+  ``lookup`` / ``lookup_batch`` / ``batch_scanner`` (the datapath),
+  ``insert`` / ``remove`` / ``evict_idle`` / ``remove_where`` (the slow
+  path and the revalidator), ``entries()`` / ``masks()`` / ``find_entry``
+  / ``probe_mask`` / ``memory_bytes()`` / hit statistics (dpctl, MFCGuard,
+  the kernel mask cache, the benchmarks).
+* :class:`MegaflowStore` — the shared truth-store machinery: per-mask hash
+  dicts, the mask list, the lookup memo, and the hit/miss statistics
+  funnel.  Concrete backends subclass it and supply ``_scan`` (how a key
+  is matched) plus index hooks (how their accelerating structure tracks
+  inserts and removals).  The dicts-as-truth invariant lives here: the
+  per-mask dicts decide every verdict and any backend index must be
+  rebuildable from them without observable change.
+* the backend registry — ``make_megaflow_backend("tss")`` and friends, the
+  single place new backends (grouped lookup, HyperCuts-megaflow, offload
+  hybrids) plug into :class:`~repro.switch.datapath.DatapathConfig`.
+
+``masks_inspected`` is reported in **backend-native probe units**: mask
+tables scanned for TSS, chain/group hash probes for the grouped backend.
+Within one backend the batch path must report the same units as the
+sequential path (batch ≡ sequential); across backends only verdicts and
+installed entries are comparable, which is what the differential tests
+compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.classifier.actions import Action
+from repro.exceptions import CacheInvariantError, ClassifierError
+from repro.packet.fields import FlowKey, FlowMask
+
+__all__ = [
+    "ENTRY_BYTES",
+    "MASK_BYTES",
+    "MegaflowEntry",
+    "TssLookupResult",
+    "LookupResult",
+    "BatchLookupResult",
+    "MegaflowBackend",
+    "MegaflowStore",
+    "LiveBatchScanner",
+    "register_megaflow_backend",
+    "megaflow_backend_names",
+    "make_megaflow_backend",
+    "backend_name_of",
+]
+
+# Memory-footprint estimates per cache object, sized after the OVS kernel
+# datapath structures (struct sw_flow ≈ key + mask ref + stats ≈ 600+ bytes,
+# struct sw_flow_mask ≈ 100+ bytes).  Used for the §5.4 IPv6 memory blow-up
+# experiment; only relative magnitudes matter.
+ENTRY_BYTES = 640
+MASK_BYTES = 128
+
+
+@dataclass
+class MegaflowEntry:
+    """One megaflow: a masked key plus its action.
+
+    Attributes:
+        mask: the entry's FlowMask (its tuple in the tuple space).
+        key: the masked key — canonical value tuple under ``mask``.
+        action: what to do with matching packets.
+        source_rule: name of the flow-table rule whose lookup spawned the
+            entry (provenance used by MFCGuard's pattern matcher).
+        created_at / last_used: simulation timestamps (seconds).
+        hits: number of fast-path hits served.
+    """
+
+    mask: FlowMask
+    key: tuple[int, ...]
+    action: Action
+    source_rule: str = ""
+    created_at: float = 0.0
+    last_used: float = 0.0
+    hits: int = 0
+
+    def covers(self, key: FlowKey) -> bool:
+        """True when ``key`` matches this entry (agrees on all masked bits)."""
+        return key.masked(self.mask) == self.key
+
+    def overlaps(self, other: "MegaflowEntry") -> bool:
+        """True when some packet could match both entries."""
+        return self.mask.overlaps_key(self.key, other.mask, other.key)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={value:#x}/{mask:#x}"
+            for (name, mask), value in zip(self.mask.items(), self.key)
+            if mask
+        )
+        return f"MegaflowEntry({fields or '*'} -> {self.action})"
+
+
+@dataclass(frozen=True)
+class TssLookupResult:
+    """Outcome of one megaflow lookup.
+
+    Attributes:
+        entry: the hit entry, or ``None`` on a cache miss.
+        masks_inspected: lookup work in the backend's native probe units —
+            mask tables scanned for TSS, chain hash probes for grouped
+            backends — which the cost model turns into CPU cycles.
+    """
+
+    entry: MegaflowEntry | None
+    masks_inspected: int
+
+    @property
+    def hit(self) -> bool:
+        return self.entry is not None
+
+
+#: Backend-neutral alias — new code should say ``LookupResult``; the
+#: ``TssLookupResult`` name is kept for the existing import surface.
+LookupResult = TssLookupResult
+
+
+@dataclass(frozen=True)
+class BatchLookupResult:
+    """Outcome of one batched megaflow lookup, one result per input key.
+
+    Semantically a transcript of running the backend's ``lookup`` over the
+    keys in order — same entries, same ``masks_inspected``, same statistics
+    side effects — however the backend vectorises it.
+    """
+
+    results: tuple[TssLookupResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> TssLookupResult:
+        return self.results[index]
+
+    @property
+    def hits(self) -> int:
+        """Number of keys served from the cache."""
+        return sum(1 for r in self.results if r.hit)
+
+    @property
+    def masks_inspected_total(self) -> int:
+        """Total scan work across the batch (cost-model input)."""
+        return sum(r.masks_inspected for r in self.results)
+
+
+@runtime_checkable
+class MegaflowBackend(Protocol):
+    """What the switch layers require of a megaflow cache.
+
+    This is the exact surface ``datapath.py``, ``sharded.py``,
+    ``revalidator.py``, ``dpctl.py`` and MFCGuard drive; anything
+    implementing it can be selected via
+    ``DatapathConfig(megaflow_backend=...)``.  Implementations must keep
+    the per-mask dicts authoritative (dicts-as-truth) and their batch path
+    verdict-identical to their sequential path (batch ≡ sequential).
+    """
+
+    check_invariants: bool
+    stats_hits: int
+    stats_misses: int
+
+    # -- size ----------------------------------------------------------------
+    @property
+    def n_masks(self) -> int: ...
+
+    @property
+    def n_entries(self) -> int: ...
+
+    def memory_bytes(self) -> int: ...
+
+    def __len__(self) -> int: ...
+
+    # -- lookup ---------------------------------------------------------------
+    def lookup(self, key: FlowKey, now: float = 0.0) -> TssLookupResult: ...
+
+    def lookup_batch(self, keys, now: float = 0.0) -> BatchLookupResult: ...
+
+    def batch_scanner(self, keys: list[FlowKey], now: float = 0.0): ...
+
+    def probe_mask(
+        self, mask: FlowMask, key: FlowKey, now: float = 0.0
+    ) -> MegaflowEntry | None: ...
+
+    def find(self, key: FlowKey) -> MegaflowEntry | None: ...
+
+    # -- mutation -------------------------------------------------------------
+    def insert(self, entry: MegaflowEntry, now: float = 0.0) -> MegaflowEntry: ...
+
+    def remove(self, entry: MegaflowEntry) -> bool: ...
+
+    def remove_where(
+        self, predicate: Callable[[MegaflowEntry], bool]
+    ) -> list[MegaflowEntry]: ...
+
+    def evict_idle(self, now: float, idle_timeout: float) -> list[MegaflowEntry]: ...
+
+    def flush(self) -> None: ...
+
+    def shuffle_masks(self, seed: int = 0) -> None: ...
+
+    def clear_memo(self) -> None: ...
+
+    # -- iteration / introspection --------------------------------------------
+    def entries(self) -> Iterator[MegaflowEntry]: ...
+
+    def masks(self) -> list[FlowMask]: ...
+
+    def entries_for_mask(self, mask: FlowMask) -> list[MegaflowEntry]: ...
+
+    def find_entry(self, entry: MegaflowEntry) -> bool: ...
+
+    def verify_disjoint(self) -> None: ...
+
+
+class MegaflowStore:
+    """Shared truth-store machinery for megaflow backends.
+
+    Owns everything that is *semantics*: the per-mask hash dicts (the
+    single source of truth for every verdict), the mask list, the lookup
+    memo, timestamps/hit counters, and the statistics funnel.  Subclasses
+    supply the *index* — whatever accelerating structure they scan — via
+    four hooks:
+
+    * :meth:`_scan` — resolve one key against the store (the lookup
+      algorithm; must route hits through :meth:`_register_hit` and misses
+      through :meth:`_register_miss`);
+    * :meth:`_index_insert` — fold one freshly installed entry into the
+      index incrementally (the hot path while an attack detonates);
+    * :meth:`_index_invalidate` — mark the index stale after a removal,
+      reorder, or flush (lazily rebuilt by the subclass);
+    * :meth:`_note_hit` / :meth:`_note_miss` — optional scan-order
+      accounting (TSS ``hit_sorted`` resorts).
+
+    The default ``lookup_batch`` / ``batch_scanner`` run the sequential
+    path key by key — trivially batch ≡ sequential, because every lookup
+    reads the live dicts; backends with a vectorised plan (TSS) override
+    them.
+    """
+
+    MEMO_LIMIT = 65536  # distinct keys memoised between cache mutations
+
+    def __init__(self, check_invariants: bool = False):
+        self.check_invariants = check_invariants
+        self.scan_policy = "insertion"
+        # Source of truth: per-mask dicts keyed by *reduced* masked keys
+        # (only the fields the mask constrains), plus the scan-ordered mask
+        # list of Algorithm 1.
+        self._tables: dict[FlowMask, dict[tuple[int, ...], MegaflowEntry]] = {}
+        self._mask_fields: dict[FlowMask, tuple[tuple[int, int], ...]] = {}
+        self._mask_order: list[FlowMask] = []
+        # Lookup memo: replayed traffic (the common case during an attack)
+        # re-resolves in O(1) between cache mutations.
+        self._memo: dict[tuple[int, ...], TssLookupResult] = {}
+        # Bumped whenever scan order or the entry set shrinks/reorders;
+        # batch scanners use it to notice their plan went stale.
+        self._order_seq = 0
+        self.stats_hits = 0
+        self.stats_misses = 0
+
+    # -- size ----------------------------------------------------------------
+    @property
+    def n_masks(self) -> int:
+        """Number of distinct masks (the |M| of Observation 1)."""
+        return len(self._mask_order)
+
+    @property
+    def n_entries(self) -> int:
+        """Number of megaflow entries (the |C| of Observation 1)."""
+        return sum(len(table) for table in self._tables.values())
+
+    def memory_bytes(self) -> int:
+        """Estimated memory footprint (entries + mask structures)."""
+        return self.n_entries * ENTRY_BYTES + self.n_masks * MASK_BYTES
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _fields_of(mask: FlowMask) -> tuple[tuple[int, int], ...]:
+        return tuple((i, m) for i, m in enumerate(mask.values) if m)
+
+    def _reduce(self, mask: FlowMask, full_values: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(full_values[i] & m for i, m in self._mask_fields[mask])
+
+    def _invalidate(self) -> None:
+        self._memo.clear()
+        self._order_seq += 1
+        self._index_invalidate()
+
+    # -- index hooks (subclass responsibility) -----------------------------------
+    def _scan(
+        self, key: FlowKey, key_values: tuple[int, ...], now: float
+    ) -> TssLookupResult:
+        """Resolve one key against the store (backend algorithm)."""
+        raise NotImplementedError
+
+    def _index_insert(self, entry: MegaflowEntry, new_mask: bool) -> None:
+        """Fold a freshly installed entry into the backend index."""
+
+    def _index_invalidate(self) -> None:
+        """Mark the backend index stale (rebuild lazily on next scan)."""
+
+    def _note_hit(self, mask: FlowMask) -> None:
+        """Scan-order accounting hook (TSS ``hit_sorted``)."""
+
+    def _note_miss(self) -> None:
+        """Scan-order accounting hook (TSS ``hit_sorted``)."""
+
+    # -- memo ----------------------------------------------------------------------
+    def _memo_consult(
+        self, key_values: tuple[int, ...], now: float
+    ) -> TssLookupResult | None:
+        """Serve a memoised result (with full hit/miss accounting), or None.
+
+        The single memo protocol shared by :meth:`lookup` and any batch
+        scanner — the batch ≡ sequential invariant requires both paths to
+        consult and account identically.
+        """
+        memoised = self._memo.get(key_values)
+        if memoised is not None:
+            entry = memoised.entry
+            if entry is not None:
+                self._register_hit(entry, now)
+            else:
+                self.stats_misses += 1
+        return memoised
+
+    def _memo_store(self, key_values: tuple[int, ...], result: TssLookupResult) -> None:
+        if len(self._memo) < self.MEMO_LIMIT and self.scan_policy == "insertion":
+            self._memo[key_values] = result
+
+    def clear_memo(self) -> None:
+        """Drop memoised lookups (benchmarks: measure scans, not the memo)."""
+        self._memo.clear()
+
+    # -- lookup ---------------------------------------------------------------------
+    def lookup(self, key: FlowKey, now: float = 0.0) -> TssLookupResult:
+        """Resolve one key: memo, then the backend's scan."""
+        key_values = key.values
+        memoised = self._memo_consult(key_values, now)
+        if memoised is not None:
+            return memoised
+        result = self._scan(key, key_values, now)
+        self._memo_store(key_values, result)
+        return result
+
+    def lookup_batch(self, keys, now: float = 0.0) -> BatchLookupResult:
+        """Classify ``keys`` in order; equivalent to per-key :meth:`lookup`.
+
+        Backends with a vectorised plan override this; the default runs the
+        sequential path, which is batch ≡ sequential by construction.
+        """
+        return BatchLookupResult(results=tuple(self.lookup(k, now) for k in keys))
+
+    def batch_scanner(self, keys: list[FlowKey], now: float = 0.0):
+        """A consume-in-order batch scanner (the datapath's level-3 engine).
+
+        The caller drives it one key at a time and may mutate the cache
+        between keys (slow-path installs).  The default scanner performs a
+        live lookup per key, so mid-batch mutations are always visible and
+        no coherence protocol is needed.
+        """
+        return LiveBatchScanner(self, list(keys), now)
+
+    # -- accounting ------------------------------------------------------------
+    def _register_hit(self, entry: MegaflowEntry, now: float) -> None:
+        """Single funnel for every served hit — scan, memo, batch, and
+        single-mask probes all feed the same statistics and any scan-order
+        accounting."""
+        entry.hits += 1
+        entry.last_used = now
+        self.stats_hits += 1
+        self._note_hit(entry.mask)
+
+    def _register_miss(self) -> None:
+        self.stats_misses += 1
+        self._note_miss()
+
+    # -- mutation ---------------------------------------------------------------
+    def insert(self, entry: MegaflowEntry, now: float = 0.0) -> MegaflowEntry:
+        """Install ``entry``; refresh timestamps if an identical entry exists.
+
+        Returns the entry actually stored (the existing one on refresh).
+        Raises :class:`CacheInvariantError` when invariant checking is on and
+        the entry overlaps a different existing entry.
+        """
+        table = self._tables.get(entry.mask)
+        new_mask = table is None
+        fields = self._fields_of(entry.mask) if new_mask else self._mask_fields[entry.mask]
+        reduced = tuple(entry.key[i] & m for i, m in fields)
+        if not new_mask:
+            existing = table.get(reduced)
+            if existing is not None:
+                existing.last_used = now
+                return existing
+        # Invariant checking must precede any mutation: raising after the
+        # mask is registered would leave a ghost (empty, unindexed) mask
+        # that inflates n_masks and derails later incremental inserts.
+        if self.check_invariants:
+            self._assert_disjoint(entry)
+        if new_mask:
+            table = {}
+            self._tables[entry.mask] = table
+            self._mask_fields[entry.mask] = fields
+            self._mask_order.append(entry.mask)
+            self._mask_added(entry.mask)
+        entry.created_at = now
+        entry.last_used = now
+        table[reduced] = entry
+        # Keep the backend index in sync incrementally (the hot path while
+        # an attack detonates); memoised results must still be dropped
+        # because previous misses may now hit.
+        self._index_insert(entry, new_mask)
+        self._memo.clear()
+        return entry
+
+    def _mask_added(self, mask: FlowMask) -> None:
+        """Bookkeeping hook: a new mask entered the mask list."""
+
+    def _mask_removed(self, mask: FlowMask) -> None:
+        """Bookkeeping hook: a mask's last entry was removed."""
+
+    def _assert_disjoint(self, entry: MegaflowEntry) -> None:
+        for other in self.entries():
+            if entry.overlaps(other):
+                raise CacheInvariantError(
+                    f"Inv(2) violation: {entry!r} overlaps existing {other!r}"
+                )
+
+    def remove(self, entry: MegaflowEntry) -> bool:
+        """Remove ``entry``; True when it was present."""
+        table = self._tables.get(entry.mask)
+        if table is None:
+            return False
+        reduced = self._reduce(entry.mask, entry.key)
+        if table.get(reduced) is not entry:
+            return False
+        del table[reduced]
+        if not table:
+            del self._tables[entry.mask]
+            del self._mask_fields[entry.mask]
+            self._mask_order.remove(entry.mask)
+            self._mask_removed(entry.mask)
+        self._invalidate()
+        return True
+
+    def remove_where(self, predicate: Callable[[MegaflowEntry], bool]) -> list[MegaflowEntry]:
+        """Remove and return every entry satisfying ``predicate``."""
+        victims = [entry for entry in self.entries() if predicate(entry)]
+        for entry in victims:
+            self.remove(entry)
+        return victims
+
+    def evict_idle(self, now: float, idle_timeout: float) -> list[MegaflowEntry]:
+        """Remove entries unused for at least ``idle_timeout`` seconds.
+
+        This is the 10-second megaflow idle eviction responsible for the
+        delayed victim recovery in Fig. 8a/8b.
+        """
+        return self.remove_where(lambda e: now - e.last_used >= idle_timeout)
+
+    def shuffle_masks(self, seed: int = 0) -> None:
+        """Randomise the mask scan order (steady-state churn model).
+
+        In a long-running switch the mask list's order decorrelates from
+        insertion order: entries idle out and re-spark, revalidation
+        rewrites the tables, flows come and go.  The paper's cost model
+        assumes exactly this — a victim's mask sits mid-scan on average
+        (hence flow completion time growing "half as high" as the mask
+        count).  Experiments call this between phases to put the cache in
+        that steady state; semantics are unaffected (every backend finds
+        the same unique match wherever its mask sits; backends without a
+        scan order are untouched beyond iteration order).
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        order = list(self._mask_order)
+        rng.shuffle(order)
+        self._mask_order = order
+        self._invalidate()
+
+    def flush(self) -> None:
+        """Drop every entry and mask (slow-path revalidation flush)."""
+        self._tables.clear()
+        self._mask_fields.clear()
+        self._mask_order.clear()
+        self._flushed()
+        self._invalidate()
+
+    def _flushed(self) -> None:
+        """Bookkeeping hook: the whole store was flushed."""
+
+    # -- iteration / introspection ----------------------------------------------
+    def entries(self) -> Iterator[MegaflowEntry]:
+        """Iterate all entries (mask scan order, then key-insertion order)."""
+        for mask in list(self._mask_order):
+            yield from list(self._tables.get(mask, {}).values())
+
+    def masks(self) -> list[FlowMask]:
+        """The mask list in current scan order."""
+        return list(self._mask_order)
+
+    def entries_for_mask(self, mask: FlowMask) -> list[MegaflowEntry]:
+        """All entries stored under ``mask``."""
+        return list(self._tables.get(mask, {}).values())
+
+    def find_entry(self, entry: MegaflowEntry) -> bool:
+        """True when exactly this entry object is still installed (O(1))."""
+        table = self._tables.get(entry.mask)
+        if table is None:
+            return False
+        return table.get(self._reduce(entry.mask, entry.key)) is entry
+
+    def probe_mask(self, mask: FlowMask, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
+        """Probe a single mask's hash table (kernel mask-cache fast path).
+
+        Routed through the shared hit accounting, so backends with hit-
+        driven scan orders keep seeing the hottest flows even when the
+        kernel mask memo short-circuits their scans.
+        """
+        table = self._tables.get(mask)
+        if table is None:
+            return None
+        entry = table.get(self._reduce(mask, key.values))
+        if entry is not None:
+            self._register_hit(entry, now)
+        return entry
+
+    def find(self, key: FlowKey) -> MegaflowEntry | None:
+        """Like lookup but without touching statistics (diagnostics)."""
+        key_values = key.values
+        for mask in self._mask_order:
+            masked = tuple(key_values[i] & m for i, m in self._mask_fields[mask])
+            entry = self._tables[mask].get(masked)
+            if entry is not None:
+                return entry
+        return None
+
+    def verify_disjoint(self) -> None:
+        """Assert Inv(2) over the whole cache (test helper, O(|C|^2))."""
+        all_entries = list(self.entries())
+        for i, first in enumerate(all_entries):
+            for second in all_entries[i + 1 :]:
+                if first.overlaps(second):
+                    raise CacheInvariantError(
+                        f"Inv(2) violation between {first!r} and {second!r}"
+                    )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.n_masks} masks, {self.n_entries} entries)"
+
+
+class LiveBatchScanner:
+    """The default consume-in-order batch scanner: one live lookup per key.
+
+    Because every :meth:`result` call reads the live dicts, mid-batch
+    inserts are immediately visible and :meth:`note_inserted` needs no
+    bookkeeping — coherence is free where there is no precomputed plan.
+    Backends that *do* plan ahead (TSS) ship their own scanner.
+    """
+
+    def __init__(self, backend: MegaflowStore, keys: list[FlowKey], now: float):
+        self.backend = backend
+        self.keys = keys
+        self.now = now
+
+    def note_inserted(self, entry: MegaflowEntry) -> None:
+        """Mid-batch install notification (no-op: lookups are live)."""
+
+    def result(self, i: int, now: float | None = None) -> TssLookupResult:
+        """The lookup result for key ``i``."""
+        if now is not None:
+            self.now = now
+        return self.backend.lookup(self.keys[i], now=self.now)
+
+
+# -- backend registry ------------------------------------------------------------
+
+#: name -> factory; factories accept ``check_invariants`` (and any
+#: backend-specific keyword arguments).
+_MEGAFLOW_BACKENDS: dict[str, Callable[..., "MegaflowBackend"]] = {}
+
+
+def register_megaflow_backend(name: str, factory: Callable[..., "MegaflowBackend"]) -> None:
+    """Register a backend factory under ``name`` (last registration wins)."""
+    _MEGAFLOW_BACKENDS[name] = factory
+
+
+def _ensure_builtin_backends() -> None:
+    # Imported lazily: the builtin backends import this module for the base
+    # class, so registering them here at import time would be circular.
+    import repro.classifier.tss  # noqa: F401  (registers "tss")
+    import repro.classifier.tuplechain  # noqa: F401  (registers "tuplechain")
+
+
+def megaflow_backend_names() -> tuple[str, ...]:
+    """All registered backend names, sorted."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_MEGAFLOW_BACKENDS))
+
+
+def make_megaflow_backend(name: str, **kwargs) -> "MegaflowBackend":
+    """Build a megaflow backend by registry name.
+
+    Args:
+        name: registered backend name (``"tss"``, ``"tuplechain"``, …).
+        **kwargs: passed to the factory (``check_invariants`` etc.).
+    """
+    _ensure_builtin_backends()
+    factory = _MEGAFLOW_BACKENDS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_MEGAFLOW_BACKENDS))
+        raise ClassifierError(f"unknown megaflow backend {name!r}; known: {known}")
+    return factory(**kwargs)
+
+
+def backend_name_of(backend: "MegaflowBackend") -> str | None:
+    """The registry name whose factory built ``backend``, or None.
+
+    Only class factories can be matched; backends from closure factories
+    (or never registered) return None.
+    """
+    _ensure_builtin_backends()
+    for name, factory in _MEGAFLOW_BACKENDS.items():
+        if isinstance(factory, type) and type(backend) is factory:
+            return name
+    return None

@@ -1,4 +1,4 @@
-"""Tuple Space Search megaflow cache (the paper's Algorithm 1).
+"""Tuple Space Search megaflow backend (the paper's Algorithm 1).
 
 The cache is an unordered set of key/mask pairs ``C = {(K, M)}`` organised
 as the TSS scheme of Srinivasan–Suri–Varghese: a list of distinct masks (the
@@ -12,16 +12,18 @@ The number of masks inspected by each lookup is reported back to the caller
 (Observation 1), which the TSE attack drives into the thousands.
 
 Implementation note: the semantic model is exactly the per-mask hash-table
-scan above, and the per-mask dictionaries remain the source of truth.  On
-top of them sits a vectorised accelerator (numpy): every entry is indexed
-by a salted 64-bit hash of its masked key, so one lookup ANDs the key
-against the whole mask matrix, hashes row-wise, and binary-searches the
-sorted entry-hash array — turning the O(|M|) Python probe loop into a few
-array operations while reporting the same ``masks_inspected`` the
-sequential scan would (candidates are confirmed against the authoritative
-dicts, so hash collisions cannot change semantics).  A small memo
-additionally short-circuits repeated lookups of identical keys between
-cache mutations, since attack traces are replayed in loops.
+scan above, and the per-mask dictionaries remain the source of truth (they
+live in :class:`~repro.classifier.backend.MegaflowStore`, the shared base
+every megaflow backend builds on).  On top of them sits a vectorised
+accelerator (numpy): every entry is indexed by a salted 64-bit hash of its
+masked key, so one lookup ANDs the key against the whole mask matrix,
+hashes row-wise, and binary-searches the sorted entry-hash array — turning
+the O(|M|) Python probe loop into a few array operations while reporting
+the same ``masks_inspected`` the sequential scan would (candidates are
+confirmed against the authoritative dicts, so hash collisions cannot change
+semantics).  A small memo additionally short-circuits repeated lookups of
+identical keys between cache mutations, since attack traces are replayed in
+loops.
 
 Batch pipeline.  :meth:`TupleSpaceSearch.lookup_batch` classifies N keys
 per call the way real software switches do (OVS/DPDK process ~32-packet
@@ -57,12 +59,17 @@ Accelerator invariants:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterator
-
 import numpy as np
 
-from repro.classifier.actions import Action
+from repro.classifier.backend import (
+    ENTRY_BYTES,
+    MASK_BYTES,
+    BatchLookupResult,
+    MegaflowEntry,
+    MegaflowStore,
+    TssLookupResult,
+    register_megaflow_backend,
+)
 from repro.exceptions import CacheInvariantError
 from repro.packet.fields import FIELD_ORDER, FIELDS, FlowKey, FlowMask
 
@@ -74,13 +81,6 @@ __all__ = [
     "ENTRY_BYTES",
     "MASK_BYTES",
 ]
-
-# Memory-footprint estimates per cache object, sized after the OVS kernel
-# datapath structures (struct sw_flow ≈ key + mask ref + stats ≈ 600+ bytes,
-# struct sw_flow_mask ≈ 100+ bytes).  Used for the §5.4 IPv6 memory blow-up
-# experiment; only relative magnitudes matter.
-ENTRY_BYTES = 640
-MASK_BYTES = 128
 
 # Column layout for the vectorised accelerator: one uint64 column per
 # field, two for the 128-bit IPv6 addresses.
@@ -131,96 +131,8 @@ def _row_hash(row: np.ndarray) -> int:
     return int((row * _WEIGHTS).sum(dtype=np.uint64))
 
 
-@dataclass
-class MegaflowEntry:
-    """One megaflow: a masked key plus its action.
-
-    Attributes:
-        mask: the entry's FlowMask (its tuple in the tuple space).
-        key: the masked key — canonical value tuple under ``mask``.
-        action: what to do with matching packets.
-        source_rule: name of the flow-table rule whose lookup spawned the
-            entry (provenance used by MFCGuard's pattern matcher).
-        created_at / last_used: simulation timestamps (seconds).
-        hits: number of fast-path hits served.
-    """
-
-    mask: FlowMask
-    key: tuple[int, ...]
-    action: Action
-    source_rule: str = ""
-    created_at: float = 0.0
-    last_used: float = 0.0
-    hits: int = 0
-
-    def covers(self, key: FlowKey) -> bool:
-        """True when ``key`` matches this entry (agrees on all masked bits)."""
-        return key.masked(self.mask) == self.key
-
-    def overlaps(self, other: "MegaflowEntry") -> bool:
-        """True when some packet could match both entries."""
-        return self.mask.overlaps_key(self.key, other.mask, other.key)
-
-    def __repr__(self) -> str:
-        fields = ", ".join(
-            f"{name}={value:#x}/{mask:#x}"
-            for (name, mask), value in zip(self.mask.items(), self.key)
-            if mask
-        )
-        return f"MegaflowEntry({fields or '*'} -> {self.action})"
-
-
-@dataclass(frozen=True)
-class TssLookupResult:
-    """Outcome of one TSS lookup.
-
-    Attributes:
-        entry: the hit entry, or ``None`` on a cache miss.
-        masks_inspected: number of mask tables probed — the linear-scan cost
-            that the cost model turns into CPU cycles.
-    """
-
-    entry: MegaflowEntry | None
-    masks_inspected: int
-
-    @property
-    def hit(self) -> bool:
-        return self.entry is not None
-
-
-@dataclass(frozen=True)
-class BatchLookupResult:
-    """Outcome of one batched TSS lookup, one result per input key.
-
-    Semantically a transcript of running :meth:`TupleSpaceSearch.lookup`
-    over the keys in order — same entries, same ``masks_inspected``, same
-    statistics side effects — produced by the vectorised batch path.
-    """
-
-    results: tuple[TssLookupResult, ...]
-
-    def __len__(self) -> int:
-        return len(self.results)
-
-    def __iter__(self):
-        return iter(self.results)
-
-    def __getitem__(self, index: int) -> TssLookupResult:
-        return self.results[index]
-
-    @property
-    def hits(self) -> int:
-        """Number of keys served from the cache."""
-        return sum(1 for r in self.results if r.hit)
-
-    @property
-    def masks_inspected_total(self) -> int:
-        """Total scan work across the batch (cost-model input)."""
-        return sum(r.masks_inspected for r in self.results)
-
-
-class TupleSpaceSearch:
-    """The megaflow cache: mask list + per-mask hash tables.
+class TupleSpaceSearch(MegaflowStore):
+    """The TSS megaflow backend: mask list + per-mask hash tables.
 
     Args:
         check_invariants: when True, every insert verifies Inv(2)
@@ -233,24 +145,14 @@ class TupleSpaceSearch:
     """
 
     RESORT_INTERVAL = 1024  # lookups between re-sorts under "hit_sorted"
-    MEMO_LIMIT = 65536  # distinct keys memoised between cache mutations
 
     def __init__(self, check_invariants: bool = False, scan_policy: str = "insertion"):
         if scan_policy not in ("insertion", "hit_sorted"):
             raise CacheInvariantError(f"unknown scan policy {scan_policy!r}")
-        self.check_invariants = check_invariants
+        super().__init__(check_invariants=check_invariants)
         self.scan_policy = scan_policy
-        # Source of truth: per-mask dicts keyed by *reduced* masked keys
-        # (only the fields the mask constrains), plus the scan-ordered mask
-        # list of Algorithm 1.
-        self._tables: dict[FlowMask, dict[tuple[int, ...], MegaflowEntry]] = {}
-        self._mask_fields: dict[FlowMask, tuple[tuple[int, int], ...]] = {}
-        self._mask_order: list[FlowMask] = []
         self._mask_hits: dict[FlowMask, int] = {}
         self._lookups_since_sort = 0
-        # Lookup memo: replayed traffic (the common case during an attack)
-        # re-resolves in O(1) between cache mutations.
-        self._memo: dict[tuple[int, ...], TssLookupResult] = {}
         # Vectorised accelerator state.  Inserts update it incrementally
         # (the hot path while an attack detonates); removals and reorders
         # mark it dirty for a lazy rebuild.
@@ -269,43 +171,27 @@ class TupleSpaceSearch:
         self._acc_filter_shift = np.uint64(64 - _FILTER_MIN_LOG2)
         self._acc_entries: dict[int, list[tuple[int, MegaflowEntry]]] = {}
         self._mask_index: dict[FlowMask, int] = {}
-        # Bumped whenever scan order or the entry set shrinks/reorders;
-        # batch scanners use it to notice their plan went stale.
-        self._order_seq = 0
-        self.stats_hits = 0
-        self.stats_misses = 0
 
-    # -- size ----------------------------------------------------------------
-    @property
-    def n_masks(self) -> int:
-        """Number of distinct masks (the |M| of Observation 1)."""
-        return len(self._mask_order)
-
-    @property
-    def n_entries(self) -> int:
-        """Number of megaflow entries (the |C| of Observation 1)."""
-        return sum(len(table) for table in self._tables.values())
-
-    def memory_bytes(self) -> int:
-        """Estimated memory footprint (entries + mask structures)."""
-        return self.n_entries * ENTRY_BYTES + self.n_masks * MASK_BYTES
-
-    def __len__(self) -> int:
-        return self.n_entries
-
-    # -- helpers -----------------------------------------------------------------
-    @staticmethod
-    def _fields_of(mask: FlowMask) -> tuple[tuple[int, int], ...]:
-        return tuple((i, m) for i, m in enumerate(mask.values) if m)
-
-    def _reduce(self, mask: FlowMask, full_values: tuple[int, ...]) -> tuple[int, ...]:
-        return tuple(full_values[i] & m for i, m in self._mask_fields[mask])
-
-    def _invalidate(self) -> None:
-        self._memo.clear()
+    # -- store hooks -------------------------------------------------------------
+    def _index_invalidate(self) -> None:
         self._acc_dirty = True
-        self._order_seq += 1
 
+    def _index_insert(self, entry: MegaflowEntry, new_mask: bool) -> None:
+        if not self._acc_dirty:
+            if new_mask:
+                self._acc_append_mask(entry.mask)
+            self._acc_append_entry(entry.mask, entry)
+
+    def _mask_added(self, mask: FlowMask) -> None:
+        self._mask_hits[mask] = 0
+
+    def _mask_removed(self, mask: FlowMask) -> None:
+        self._mask_hits.pop(mask, None)
+
+    def _flushed(self) -> None:
+        self._mask_hits.clear()
+
+    # -- accelerator maintenance ----------------------------------------------
     def _acc_grow(self, needed: int) -> None:
         if needed <= self._acc_capacity:
             return
@@ -426,40 +312,9 @@ class TupleSpaceSearch:
         self._acc_filter_rebuild(log2)
         self._acc_dirty = False
 
-    # -- core operations -------------------------------------------------------
-    def _memo_consult(
-        self, key_values: tuple[int, ...], now: float
-    ) -> TssLookupResult | None:
-        """Serve a memoised result (with full hit/miss accounting), or None.
-
-        The single memo protocol shared by :meth:`lookup` and the batch
-        scanner — the batch ≡ sequential invariant requires both paths to
-        consult and account identically.
-        """
-        memoised = self._memo.get(key_values)
-        if memoised is not None:
-            entry = memoised.entry
-            if entry is not None:
-                self._register_hit(entry, now)
-            else:
-                self.stats_misses += 1
-        return memoised
-
-    def _memo_store(self, key_values: tuple[int, ...], result: TssLookupResult) -> None:
-        if len(self._memo) < self.MEMO_LIMIT and self.scan_policy == "insertion":
-            self._memo[key_values] = result
-
-    def lookup(self, key: FlowKey, now: float = 0.0) -> TssLookupResult:
-        """Algorithm 1: scan masks, probe each hash, early-exit on hit."""
-        key_values = key.values
-        memoised = self._memo_consult(key_values, now)
-        if memoised is not None:
-            return memoised
-        result = self._scan(key, key_values, now)
-        self._memo_store(key_values, result)
-        return result
-
+    # -- core scan -------------------------------------------------------------
     def _scan(self, key: FlowKey, key_values: tuple[int, ...], now: float) -> TssLookupResult:
+        """Algorithm 1: scan masks, probe each hash, early-exit on hit."""
         n = len(self._mask_order)
         if n == 0:
             self.stats_misses += 1
@@ -523,20 +378,7 @@ class TupleSpaceSearch:
                     return entry
         return None
 
-    # -- accounting ------------------------------------------------------------
-    def _register_hit(self, entry: MegaflowEntry, now: float) -> None:
-        """Single funnel for every served hit — scan, memo, batch, and
-        single-mask probes all feed the same statistics and the
-        ``hit_sorted`` resort accounting."""
-        entry.hits += 1
-        entry.last_used = now
-        self.stats_hits += 1
-        self._note_hit(entry.mask)
-
-    def _register_miss(self) -> None:
-        self.stats_misses += 1
-        self._note_miss()
-
+    # -- hit_sorted accounting ---------------------------------------------------
     def _note_hit(self, mask: FlowMask) -> None:
         if self.scan_policy == "hit_sorted":
             self._mask_hits[mask] = self._mask_hits.get(mask, 0) + 1
@@ -552,163 +394,6 @@ class TupleSpaceSearch:
             self._lookups_since_sort = 0
             self._mask_order.sort(key=lambda m: -self._mask_hits.get(m, 0))
             self._invalidate()
-
-    def insert(self, entry: MegaflowEntry, now: float = 0.0) -> MegaflowEntry:
-        """Install ``entry``; refresh timestamps if an identical entry exists.
-
-        Returns the entry actually stored (the existing one on refresh).
-        Raises :class:`CacheInvariantError` when invariant checking is on and
-        the entry overlaps a different existing entry.
-        """
-        new_mask = False
-        table = self._tables.get(entry.mask)
-        if table is None:
-            table = {}
-            self._tables[entry.mask] = table
-            self._mask_fields[entry.mask] = self._fields_of(entry.mask)
-            self._mask_order.append(entry.mask)
-            self._mask_hits[entry.mask] = 0
-            new_mask = True
-        reduced = self._reduce(entry.mask, entry.key)
-        existing = table.get(reduced)
-        if existing is not None:
-            existing.last_used = now
-            return existing
-        if self.check_invariants:
-            self._assert_disjoint(entry)
-        entry.created_at = now
-        entry.last_used = now
-        table[reduced] = entry
-        # Keep the accelerator in sync incrementally (the hot path while an
-        # attack detonates); memoised results must still be dropped because
-        # previous misses may now hit.
-        if not self._acc_dirty:
-            if new_mask:
-                self._acc_append_mask(entry.mask)
-            self._acc_append_entry(entry.mask, entry)
-        self._memo.clear()
-        return entry
-
-    def _assert_disjoint(self, entry: MegaflowEntry) -> None:
-        for other in self.entries():
-            if entry.overlaps(other):
-                raise CacheInvariantError(
-                    f"Inv(2) violation: {entry!r} overlaps existing {other!r}"
-                )
-
-    def remove(self, entry: MegaflowEntry) -> bool:
-        """Remove ``entry``; True when it was present."""
-        table = self._tables.get(entry.mask)
-        if table is None:
-            return False
-        reduced = self._reduce(entry.mask, entry.key)
-        if table.get(reduced) is not entry:
-            return False
-        del table[reduced]
-        if not table:
-            del self._tables[entry.mask]
-            del self._mask_fields[entry.mask]
-            self._mask_order.remove(entry.mask)
-            self._mask_hits.pop(entry.mask, None)
-        self._invalidate()
-        return True
-
-    def remove_where(self, predicate: Callable[[MegaflowEntry], bool]) -> list[MegaflowEntry]:
-        """Remove and return every entry satisfying ``predicate``."""
-        victims = [entry for entry in self.entries() if predicate(entry)]
-        for entry in victims:
-            self.remove(entry)
-        return victims
-
-    def evict_idle(self, now: float, idle_timeout: float) -> list[MegaflowEntry]:
-        """Remove entries unused for at least ``idle_timeout`` seconds.
-
-        This is the 10-second megaflow idle eviction responsible for the
-        delayed victim recovery in Fig. 8a/8b.
-        """
-        return self.remove_where(lambda e: now - e.last_used >= idle_timeout)
-
-    def shuffle_masks(self, seed: int = 0) -> None:
-        """Randomise the mask scan order (steady-state churn model).
-
-        In a long-running switch the mask list's order decorrelates from
-        insertion order: entries idle out and re-spark, revalidation
-        rewrites the tables, flows come and go.  The paper's cost model
-        assumes exactly this — a victim's mask sits mid-scan on average
-        (hence flow completion time growing "half as high" as the mask
-        count).  Experiments call this between phases to put the cache in
-        that steady state; semantics are unaffected (the scan finds the
-        same unique match wherever its mask sits).
-        """
-        rng = np.random.default_rng(seed)
-        order = list(self._mask_order)
-        rng.shuffle(order)
-        self._mask_order = order
-        self._invalidate()
-
-    def flush(self) -> None:
-        """Drop every entry and mask (slow-path revalidation flush)."""
-        self._tables.clear()
-        self._mask_fields.clear()
-        self._mask_order.clear()
-        self._mask_hits.clear()
-        self._invalidate()
-
-    # -- iteration / introspection ----------------------------------------------
-    def entries(self) -> Iterator[MegaflowEntry]:
-        """Iterate all entries (mask scan order, then key-insertion order)."""
-        for mask in list(self._mask_order):
-            yield from list(self._tables.get(mask, {}).values())
-
-    def masks(self) -> list[FlowMask]:
-        """The mask list in current scan order."""
-        return list(self._mask_order)
-
-    def entries_for_mask(self, mask: FlowMask) -> list[MegaflowEntry]:
-        """All entries stored under ``mask``."""
-        return list(self._tables.get(mask, {}).values())
-
-    def find_entry(self, entry: MegaflowEntry) -> bool:
-        """True when exactly this entry object is still installed (O(1))."""
-        table = self._tables.get(entry.mask)
-        if table is None:
-            return False
-        return table.get(self._reduce(entry.mask, entry.key)) is entry
-
-    def probe_mask(self, mask: FlowMask, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
-        """Probe a single mask's hash table (kernel mask-cache fast path).
-
-        Routed through the shared hit accounting, so under ``hit_sorted``
-        the hottest flows keep influencing the resort order even when the
-        kernel mask memo short-circuits their scans.
-        """
-        table = self._tables.get(mask)
-        if table is None:
-            return None
-        entry = table.get(self._reduce(mask, key.values))
-        if entry is not None:
-            self._register_hit(entry, now)
-        return entry
-
-    def find(self, key: FlowKey) -> MegaflowEntry | None:
-        """Like lookup but without touching statistics (diagnostics)."""
-        key_values = key.values
-        for mask in self._mask_order:
-            masked = tuple(key_values[i] & m for i, m in self._mask_fields[mask])
-            entry = self._tables[mask].get(masked)
-            if entry is not None:
-                return entry
-        return None
-
-    def verify_disjoint(self) -> None:
-        """Assert Inv(2) over the whole cache (test helper, O(|C|^2))."""
-        all_entries = list(self.entries())
-        for i, first in enumerate(all_entries):
-            for second in all_entries[i + 1 :]:
-                if first.overlaps(second):
-                    raise CacheInvariantError(
-                        f"Inv(2) violation between {first!r} and {second!r}"
-                    )
 
     def __repr__(self) -> str:
         return f"TupleSpaceSearch({self.n_masks} masks, {self.n_entries} entries)"
@@ -855,3 +540,6 @@ class _BatchScanner:
         self._first = first.tolist()
         self._first_compound = first_compound.tolist()
         self._inserted.clear()
+
+
+register_megaflow_backend("tss", TupleSpaceSearch)

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.classifier.backend import MegaflowBackend, MegaflowEntry
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import FlowRule
-from repro.classifier.tss import MegaflowEntry, TupleSpaceSearch
 from repro.packet.fields import FIELD_ORDER, FIELDS
 
 __all__ = ["TsePattern", "entry_matches_pattern", "find_tse_entries", "tse_mask_fraction"]
@@ -96,7 +96,7 @@ def entry_matches_pattern(entry: MegaflowEntry, rule: FlowRule) -> bool:
     return False  # every field agreed: the rule matches; not a rejection
 
 
-def find_tse_entries(cache: TupleSpaceSearch, table: FlowTable) -> list[TsePattern]:
+def find_tse_entries(cache: MegaflowBackend, table: FlowTable) -> list[TsePattern]:
     """Alg. 2's per-rule pattern scan over the whole cache."""
     patterns: list[TsePattern] = []
     entries = list(cache.entries())
@@ -109,7 +109,7 @@ def find_tse_entries(cache: TupleSpaceSearch, table: FlowTable) -> list[TsePatte
     return patterns
 
 
-def tse_mask_fraction(cache: TupleSpaceSearch, table: FlowTable) -> float:
+def tse_mask_fraction(cache: MegaflowBackend, table: FlowTable) -> float:
     """Fraction of cache masks attributable to TSE patterns (a health metric)."""
     if cache.n_masks == 0:
         return 0.0

@@ -75,6 +75,13 @@ class MFCGuard:
     every shard, since demoted traffic from all cores funnels into the one
     shared slow-path daemon.
 
+    The guard drives caches through the
+    :class:`~repro.classifier.backend.MegaflowBackend` protocol only
+    (``entries()`` via the detector, ``kill_entry`` via the datapath), so
+    it works unchanged over non-TSS backends — the mask *count* threshold
+    still applies, even where the backend's scan cost no longer grows with
+    it.
+
     Args:
         datapath: the switch to guard (plain or sharded).
         config: thresholds and cadence.

@@ -8,7 +8,7 @@ them from the command line::
 
 IDs: didactic, fig8a, fig8b, fig8c, fig9a, fig9b, fig9c, section54,
 section62, table1, theorem41, theorem42, ipv6, comparison, mfcguard,
-pmdsweep.
+pmdsweep, backendsweep.
 """
 
 from __future__ import annotations
@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.experiments import (
+    backendsweep,
     comparison,
     didactic,
     fig8a,
@@ -56,6 +57,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "comparison": comparison.run,
     "mfcguard": mfcguard.run,
     "pmdsweep": pmdsweep.run,
+    "backendsweep": backendsweep.run,
 }
 
 

@@ -1,0 +1,121 @@
+"""Megaflow-backend sweep — the same TSE detonation against every backend.
+
+The §7 discussion argues the TSE attack is specific to Tuple Space Search:
+any cache whose lookup cost does not scale with the installed mask count
+shrugs the detonation off.  With the megaflow cache behind the pluggable
+:class:`~repro.classifier.backend.MegaflowBackend` seam this is now
+measurable *inside the full cached datapath* (the regime the OVS
+feasibility follow-up, arXiv:2011.09107, says defenses must be judged in),
+not just on bare classifiers: this harness runs the identical three-phase
+traffic program — benign, co-located TSE detonation, benign again —
+through one datapath per registered backend and reports, per backend, the
+mask/entry growth (identical by construction: the slow path installs the
+same entries regardless of the cache that stores them) and the per-packet
+lookup cost in the backend's native probe units (mask tables scanned for
+TSS, chain probes for the grouped TupleChain backend).
+
+The headline contrast: after the attack, TSS probes grow with the mask
+count it inherited, while the grouped backend's chain probes stay near
+their pre-attack level — the defense effect the ``bench_backend`` guard
+pins with wall-clock numbers on the full 8k-mask detonation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.classifier.backend import megaflow_backend_names
+from repro.core.tracegen import ColocatedTraceGenerator
+from repro.core.usecases import use_case
+from repro.experiments.common import ExperimentResult, benign_keys
+from repro.packet.headers import PROTO_TCP
+from repro.switch.datapath import Datapath, DatapathConfig
+
+__all__ = ["run"]
+
+
+def _mean_probes(verdicts) -> float:
+    return sum(v.masks_inspected for v in verdicts) / max(len(verdicts), 1)
+
+
+def run(
+    use_case_name: str = "SipDp",
+    benign_packets: int = 400,
+    backends: Sequence[str] | None = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the three-phase program through a datapath per backend."""
+    case = use_case(use_case_name)
+    names = tuple(backends) if backends is not None else megaflow_backend_names()
+    benign = benign_keys(case, benign_packets, seed)
+
+    result = ExperimentResult(
+        experiment_id="backendsweep",
+        title=f"megaflow backends under the co-located TSE detonation ({case.name} ACL)",
+        paper_reference="§7 long-term mitigation (TupleChain regime)",
+        columns=[
+            "backend", "masks", "entries", "groups",
+            "benign_probe", "attack_probe", "benign_after_probe", "degradation_x",
+        ],
+    )
+
+    transcripts: dict[str, list] = {}
+    for name in names:
+        datapath = Datapath(
+            case.build_table(),
+            DatapathConfig(microflow_capacity=0, megaflow_backend=name),
+        )
+        cache = datapath.megaflows
+        actions: list = []
+
+        verdicts = datapath.process_batch(benign)
+        actions.extend(v.action for v in verdicts)
+        benign_probe = _mean_probes(verdicts)
+
+        attack = ColocatedTraceGenerator(
+            datapath.flow_table, base={"ip_proto": PROTO_TCP}
+        ).generate()
+        actions.extend(v.action for v in datapath.process_batch(list(attack.keys)))
+        cache.shuffle_masks(seed=1)  # steady-state scan order (no-op cost for chains)
+
+        cache.clear_memo()
+        attack_verdicts = datapath.process_batch(list(attack.keys))
+        actions.extend(v.action for v in attack_verdicts)
+        attack_probe = _mean_probes(attack_verdicts)
+
+        cache.clear_memo()
+        after_verdicts = datapath.process_batch(benign)
+        actions.extend(v.action for v in after_verdicts)
+        after_probe = _mean_probes(after_verdicts)
+
+        transcripts[name] = actions
+        result.add_row(
+            name,
+            datapath.n_masks,
+            datapath.n_megaflows,
+            getattr(cache, "n_groups", datapath.n_masks),
+            round(benign_probe, 2),
+            round(attack_probe, 2),
+            round(after_probe, 2),
+            round(after_probe / benign_probe if benign_probe else float("inf"), 1),
+        )
+
+    reference = transcripts[names[0]]
+    agree = all(transcripts[name] == reference for name in names[1:])
+    result.notes.append(
+        "verdict equivalence across backends (benign + attack + benign-after): "
+        + ("IDENTICAL" if agree else "MISMATCH — backend bug!")
+    )
+    result.notes.append(
+        "probe units are backend-native (mask tables scanned vs chain hash probes); "
+        "compare each backend's before/after trend, not absolute columns"
+    )
+    result.notes.append(
+        "masks/entries are backend-independent: the slow path generates the same "
+        "megaflows, only the structure that scans them changes"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format_table())

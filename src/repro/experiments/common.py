@@ -10,11 +10,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.exceptions import ExperimentError
 
-__all__ = ["ExperimentResult", "format_cell"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.usecases import UseCase
+    from repro.packet.fields import FlowKey
+
+__all__ = ["ExperimentResult", "benign_keys", "format_cell"]
+
+
+def benign_keys(use_case: "UseCase", n: int, seed: int = 0) -> "list[FlowKey]":
+    """Packets the ACL admits (one per allow rule, varied source ports).
+
+    The benign traffic mix the §7 comparison and the backend sweep probe
+    their classifiers with, before and after an attack.
+    """
+    import numpy as np
+
+    from repro.packet.fields import FlowKey
+    from repro.packet.headers import PROTO_TCP
+
+    rng = np.random.default_rng(seed)
+    keys = []
+    for index in range(n):
+        field = use_case.allow_fields[index % len(use_case.allow_fields)]
+        kwargs = {"ip_proto": PROTO_TCP, field: use_case.allow_value(field)}
+        if field != "tp_src":
+            kwargs["tp_src"] = int(rng.integers(1024, 65536))
+        keys.append(FlowKey(**kwargs))
+    return keys
 
 
 def format_cell(value: object) -> str:

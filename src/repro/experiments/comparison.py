@@ -3,49 +3,34 @@
 The paper's long-term mitigation: replace TSS with classifiers whose
 lookup cost does not depend on traffic history — hierarchical tries,
 HyperCuts, HaRP.  This harness runs the same three traffic phases through
-every classifier and reports the mean per-packet lookup cost (each in its
-own units — the *trend across phases* is the result):
+every classifier in the :data:`repro.classifier.SECTION7_CLASSIFIERS`
+lineup (one cached datapath per registered megaflow backend, plus the
+traffic-independent alternatives) and reports the mean per-packet lookup
+cost (each in its own units — the *trend across phases* is the result):
 
 1. **benign** — packets matching the ACL's allow rules;
 2. **attack** — the co-located TSE trace;
 3. **benign-after** — the benign mix again, after the attack.
 
 The TSS-cached datapath's benign cost explodes after the attack (its mask
-list is bloated); the alternatives are flat by construction.
+list is bloated); the TupleChain-cached datapath inherits the same bloated
+cache but keeps probing it in near-constant chain steps; the alternatives
+are flat by construction.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
+from repro.classifier import section7_classifiers
 from repro.classifier.adapter import TssCachedClassifier
 from repro.classifier.base import PacketClassifier
-from repro.classifier.harp import HarpClassifier
-from repro.classifier.hypercuts import HyperCutsClassifier
-from repro.classifier.linear import LinearSearchClassifier
-from repro.classifier.trie import HierarchicalTrieClassifier
 from repro.core.tracegen import ColocatedTraceGenerator
 from repro.core.usecases import SIPSPDP, UseCase
-from repro.experiments.common import ExperimentResult
-from repro.packet.fields import FlowKey
+from repro.experiments.common import ExperimentResult, benign_keys
 from repro.packet.headers import PROTO_TCP
 
 __all__ = ["run"]
-
-
-def _benign_keys(use_case: UseCase, n: int, seed: int) -> list[FlowKey]:
-    """Packets the ACL admits (one per allow rule, varied source ports)."""
-    rng = np.random.default_rng(seed)
-    keys = []
-    for index in range(n):
-        field = use_case.allow_fields[index % len(use_case.allow_fields)]
-        kwargs = {"ip_proto": PROTO_TCP, field: use_case.allow_value(field)}
-        if field != "tp_src":
-            kwargs["tp_src"] = int(rng.integers(1024, 65536))
-        keys.append(FlowKey(**kwargs))
-    return keys
 
 
 def run(
@@ -56,14 +41,8 @@ def run(
     """Run the three-phase robustness comparison."""
     table = use_case.build_table()
     rules = table.rules_by_priority()
-    classifiers: Sequence[PacketClassifier] = (
-        TssCachedClassifier(rules),
-        LinearSearchClassifier(rules),
-        HierarchicalTrieClassifier(rules),
-        HyperCutsClassifier(rules),
-        HarpClassifier(rules),
-    )
-    benign = _benign_keys(use_case, benign_packets, seed)
+    classifiers: Sequence[PacketClassifier] = section7_classifiers(rules)
+    benign = benign_keys(use_case, benign_packets, seed)
     attack = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate().keys
 
     result = ExperimentResult(
@@ -96,7 +75,8 @@ def run(
         )
     result.notes.append(
         "degradation_x = benign cost after the attack / before it; TSS inherits the "
-        "bloated mask list, the §7 alternatives are traffic-independent (≈1.0)"
+        "bloated mask list, the grouped tuplechain cache probes the same bloat in "
+        "near-constant chain steps, the §7 alternatives are traffic-independent (≈1.0)"
     )
     result.notes.append(
         "costs are classifier-specific units (masks probed, rules scanned, nodes "

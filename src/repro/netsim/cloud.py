@@ -14,7 +14,7 @@ backends and behavioural quirks.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass, field as dc_field, replace as dc_replace
 
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import FlowRule
@@ -72,6 +72,20 @@ class EnvironmentProfile:
             ``MULTIQUEUE_ENV`` / ``dataclasses.replace``) to study the
             RSS-sharded regime of the feasibility follow-up
             (arXiv:2011.09107).
+        megaflow_backend: megaflow-cache backend registry name for every
+            datapath (shard) this environment builds, overriding the
+            ``datapath`` config's choice when set; ``None`` (the default)
+            defers to ``datapath.megaflow_backend``.  The paper's testbeds
+            all ran Tuple Space Search, so every Table 1 preset resolves
+            to ``"tss"``; select ``"tuplechain"`` (or use
+            ``dataclasses.replace``) to study the grouped-lookup defense
+            regime of the §7 discussion / the ``backendsweep`` experiment.
+            Caveat: the hypervisor's victim cost model currently anchors
+            throughput on the *mask count*, which is backend-independent,
+            so time-series victim curves do not yet reflect the grouped
+            backend's cheaper scans — judge the defense by probe units
+            and replay pps (``backendsweep`` / ``bench_backend``) until
+            the probe-aware cost model lands (see ROADMAP follow-ups).
         description: Table 1 provenance notes.
     """
 
@@ -81,7 +95,17 @@ class EnvironmentProfile:
     quirks: QuirkConfig = dc_field(default_factory=QuirkConfig)
     datapath: DatapathConfig = dc_field(default_factory=DatapathConfig)
     n_pmd: int = 1
+    megaflow_backend: str | None = None
     description: str = ""
+
+    def datapath_config(self) -> DatapathConfig:
+        """The datapath knobs with this profile's backend choice applied."""
+        if (
+            self.megaflow_backend is None
+            or self.datapath.megaflow_backend == self.megaflow_backend
+        ):
+            return self.datapath
+        return dc_replace(self.datapath, megaflow_backend=self.megaflow_backend)
 
 
 # n_pmd=1: the paper's SUT pinned OVS to a single datapath thread — the
@@ -169,12 +193,13 @@ class Server:
         self.name = name
         self.environment = environment
         self.flow_table = FlowTable(name=f"{name}-acl")
+        datapath_config = environment.datapath_config()
         if environment.n_pmd > 1:
             self.datapath: Datapath | ShardedDatapath = ShardedDatapath(
-                self.flow_table, environment.datapath, n_shards=environment.n_pmd
+                self.flow_table, datapath_config, n_shards=environment.n_pmd
             )
         else:
-            self.datapath = Datapath(self.flow_table, environment.datapath)
+            self.datapath = Datapath(self.flow_table, datapath_config)
         guard = MFCGuard(self.datapath, guard_config) if with_guard else None
         self.host = HypervisorHost(
             datapath=self.datapath,

@@ -5,7 +5,9 @@ A packet entering the switch traverses, in order:
 1. the **microflow cache** — exact match on all fields (short-term memory);
 2. optionally the **kernel mask cache** — a memo of which megaflow mask
    matched this flow last time (one hash probe instead of a scan);
-3. the **megaflow cache** — Tuple Space Search over the mask list;
+3. the **megaflow cache** — a pluggable :class:`MegaflowBackend` (Tuple
+   Space Search by default; ``DatapathConfig.megaflow_backend`` selects
+   alternatives such as the TupleChain-style grouped backend);
 4. the **slow path** — an upcall running the full ordered flow-table
    lookup, which generates and installs a new megaflow entry.
 
@@ -28,10 +30,14 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.classifier.actions import Action
+from repro.classifier.backend import (
+    MegaflowBackend,
+    MegaflowEntry,
+    make_megaflow_backend,
+)
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.microflow import MicroflowCache
 from repro.classifier.slowpath import OVS_DEFAULT, MegaflowGenerator, StrategyConfig
-from repro.classifier.tss import MegaflowEntry, TupleSpaceSearch
 from repro.exceptions import SwitchError
 from repro.packet.fields import FlowKey, FlowMask
 from repro.packet.packet import Packet
@@ -126,6 +132,11 @@ class DatapathConfig:
         idle_timeout: seconds of inactivity before the revalidator may
             evict an entry (the paper's 10 s).
         check_invariants: verify Inv(2) on every install (tests).
+        megaflow_backend: registry name of the level-3 megaflow cache
+            implementation (see :mod:`repro.classifier.backend`) —
+            ``"tss"`` is the paper's Tuple Space Search; ``"tuplechain"``
+            the grouped/chained §7-style defense backend.  Applied per
+            shard on a sharded datapath.
     """
 
     microflow_capacity: int = 256
@@ -135,6 +146,7 @@ class DatapathConfig:
     max_megaflows: int = 200_000
     idle_timeout: float = 10.0
     check_invariants: bool = False
+    megaflow_backend: str = "tss"
 
 
 @dataclass
@@ -159,13 +171,36 @@ class Datapath:
 
     Args:
         flow_table: the slow-path classifier (subscribed for cache flushes).
-        config: behaviour knobs.
+        config: behaviour knobs (``config.megaflow_backend`` selects the
+            level-3 cache implementation from the backend registry).
+        megaflows: a pre-built megaflow backend to use instead of building
+            one from the config (dependency injection for the §7 adapter
+            and the tests; must be empty).
     """
 
-    def __init__(self, flow_table: FlowTable, config: DatapathConfig | None = None):
+    def __init__(
+        self,
+        flow_table: FlowTable,
+        config: DatapathConfig | None = None,
+        megaflows: MegaflowBackend | None = None,
+    ):
         self.config = config or DatapathConfig()
         self.flow_table = flow_table
-        self.megaflows = TupleSpaceSearch(check_invariants=self.config.check_invariants)
+        if megaflows is not None and len(megaflows):
+            # A pre-warmed cache would serve entries no upcall installed
+            # (bypassing stats and the dead-entry quirk), and a shared one
+            # would be flushed by the other datapath's revalidation.
+            raise SwitchError(
+                f"injected megaflow backend must be empty, has {len(megaflows)} entries"
+            )
+        self.megaflows: MegaflowBackend = (
+            megaflows
+            if megaflows is not None
+            else make_megaflow_backend(
+                self.config.megaflow_backend,
+                check_invariants=self.config.check_invariants,
+            )
+        )
         self.microflows: MicroflowCache | None = (
             MicroflowCache(self.config.microflow_capacity)
             if self.config.microflow_capacity > 0

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.classifier.tss import MegaflowEntry
+from repro.classifier.backend import MegaflowEntry
 from repro.packet.addresses import ipv4_str, ipv6_str
 from repro.packet.fields import FIELD_ORDER, FIELDS
 from repro.switch.sharded import AnyDatapath

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.classifier.tss import MegaflowEntry
+from repro.classifier.backend import MegaflowEntry
 from repro.exceptions import SwitchError
 from repro.switch.sharded import AnyDatapath
 

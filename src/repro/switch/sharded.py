@@ -19,7 +19,9 @@ structure is reachable through ``.shards`` for per-core accounting.
 Sharding invariants (see ROADMAP.md):
 
 * dicts-as-truth and batch ≡ sequential hold *per shard* — each shard is a
-  full, independently correct Datapath;
+  full, independently correct Datapath (whatever megaflow backend
+  ``config.megaflow_backend`` selects — every shard runs its own private
+  instance of it);
 * RSS assignment is stable for a flow's lifetime, so a flow's megaflow,
   microflow and memo state live in exactly one shard;
 * with ``n_shards=1`` the behaviour is verdict-for-verdict identical to a
@@ -32,8 +34,8 @@ from dataclasses import dataclass
 
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.classifier.backend import MegaflowEntry
 from repro.classifier.flowtable import FlowTable
-from repro.classifier.tss import MegaflowEntry
 from repro.packet.fields import FlowKey
 from repro.packet.packet import Packet
 from repro.switch.datapath import (

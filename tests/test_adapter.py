@@ -42,3 +42,27 @@ class TestAdapter:
         for port in range(200):
             clf.classify(FlowKey(tp_dst=port))
         assert clf.datapath.now > 0
+
+
+class TestBackendInjection:
+    def test_backend_by_name(self):
+        from repro.classifier.tuplechain import TupleChainSearch
+
+        clf = TssCachedClassifier(rules(), backend="tuplechain")
+        assert clf.name == "tuplechain-cache"
+        assert isinstance(clf.datapath.megaflows, TupleChainSearch)
+        assert clf.classify(FlowKey(tp_dst=80)).action == ALLOW
+        assert clf.classify(FlowKey(tp_dst=81)).action == DENY
+
+    def test_backend_by_instance(self):
+        from repro.classifier.tuplechain import TupleChainSearch
+
+        cache = TupleChainSearch()
+        clf = TssCachedClassifier(rules(), backend=cache)
+        assert clf.name == "tuplechain-cache"  # registry name, not class name
+        assert clf.datapath.megaflows is cache
+        clf.classify(FlowKey(tp_dst=80))
+        assert cache.n_entries == 1
+
+    def test_default_name_unchanged(self):
+        assert TssCachedClassifier(rules()).name == "tss-cache"

@@ -10,10 +10,19 @@ from repro.switch.datapath import Datapath, DatapathConfig
 from repro.switch.dpctl import dump_flows, format_flow, mask_histogram, show
 
 
-@pytest.fixture
-def attacked():
+from repro.classifier.backend import megaflow_backend_names
+
+
+# dpctl renders the protocol surface (entries / masks / counters /
+# memory_bytes), never TupleSpaceSearch internals, so the attacked-cache
+# rendering tests run over every registered backend.
+@pytest.fixture(params=megaflow_backend_names())
+def attacked(request):
     table = SIPDP.build_table()
-    datapath = Datapath(table, DatapathConfig(microflow_capacity=0))
+    datapath = Datapath(
+        table,
+        DatapathConfig(microflow_capacity=0, megaflow_backend=request.param),
+    )
     trace = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate()
     for key in trace.keys:
         datapath.process(key)

@@ -29,9 +29,10 @@ from repro.exceptions import ExperimentError
 
 
 class TestRegistry:
-    def test_all_seventeen_experiments(self):
-        assert len(EXPERIMENTS) == 17
+    def test_all_eighteen_experiments(self):
+        assert len(EXPERIMENTS) == 18
         assert "pmdsweep" in EXPERIMENTS
+        assert "backendsweep" in EXPERIMENTS
 
     def test_run_by_id(self):
         result = run_experiment("table1")
@@ -188,8 +189,27 @@ class TestComparison:
         by_name = {row[0]: row for row in result.rows}
         degradation = result.columns.index("degradation_x")
         assert by_name["tss-cache"][degradation] > 100
+        # The grouped cache inherits the same exploded mask list but keeps
+        # probing it in near-constant chain steps.
+        assert by_name["tuplechain-cache"][degradation] < by_name["tss-cache"][degradation] / 10
         for name in ("linear", "hierarchical-tries", "hypercuts", "harp"):
             assert by_name[name][degradation] == pytest.approx(1.0, abs=0.05)
+
+
+class TestBackendSweep:
+    def test_backends_agree_and_grouped_stays_bounded(self):
+        from repro.experiments import backendsweep
+
+        result = backendsweep.run(benign_packets=200)
+        assert any("IDENTICAL" in note for note in result.notes)
+        by_name = {row[0]: row for row in result.rows}
+        masks = result.columns.index("masks")
+        after = result.columns.index("benign_after_probe")
+        degradation = result.columns.index("degradation_x")
+        # Same detonation installed either way; only the scan cost differs.
+        assert by_name["tss"][masks] == by_name["tuplechain"][masks] == 513
+        assert by_name["tss"][after] > by_name["tuplechain"][after] * 2
+        assert by_name["tuplechain"][degradation] < by_name["tss"][degradation] / 10
 
 
 @pytest.mark.slow

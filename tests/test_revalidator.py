@@ -11,12 +11,23 @@ from repro.switch.datapath import Datapath, DatapathConfig
 from repro.switch.revalidator import REVALIDATE_UNITS_PER_ENTRY, Revalidator
 
 
-@pytest.fixture
-def datapath() -> Datapath:
+from repro.classifier.backend import megaflow_backend_names
+
+
+# The revalidator drives caches through the MegaflowBackend protocol only
+# (n_megaflows / evict_idle / entries / kill_entry), so every test in this
+# module runs over each registered backend.
+@pytest.fixture(params=megaflow_backend_names())
+def datapath(request) -> Datapath:
     table = FlowTable()
     table.add_rule(Match(ip_proto=6, tp_dst=80), ALLOW, priority=10, name="allow")
     table.add_default_deny()
-    return Datapath(table, DatapathConfig(microflow_capacity=0, idle_timeout=10.0))
+    return Datapath(
+        table,
+        DatapathConfig(
+            microflow_capacity=0, idle_timeout=10.0, megaflow_backend=request.param
+        ),
+    )
 
 
 class TestSweeps:
@@ -51,14 +62,18 @@ class TestSweeps:
 
 
 class TestFlowLimitPressure:
-    def test_lru_evicted_above_limit(self):
+    @pytest.mark.parametrize("backend", megaflow_backend_names())
+    def test_lru_evicted_above_limit(self, backend):
         from repro.core.tracegen import bit_inversion_list
 
         table = FlowTable()
         table.add_rule(Match(tp_dst=80), ALLOW, priority=10, name="allow")
         table.add_default_deny()
         datapath = Datapath(
-            table, DatapathConfig(microflow_capacity=0, max_megaflows=1000)
+            table,
+            DatapathConfig(
+                microflow_capacity=0, max_megaflows=1000, megaflow_backend=backend
+            ),
         )
         revalidator = Revalidator(datapath, period=1.0)
         # Distinct megaflows: one per inverted bit of the allowed value.

@@ -94,14 +94,28 @@ class TestRss:
             assert pinned.replace(tp_src=0) == key.replace(tp_src=0)
 
 
+from repro.classifier.backend import megaflow_backend_names
+
+# Derived from the registry: a newly registered backend automatically
+# inherits the sharding-invariant coverage.
+BACKENDS = megaflow_backend_names()
+
+
 class TestShardEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("microflow,mask_cache", [(0, False), (16, False), (0, True)])
-    def test_one_shard_identical_to_datapath(self, microflow, mask_cache):
-        """ShardedDatapath(n_shards=1) ≡ Datapath, verdict for verdict."""
+    def test_one_shard_identical_to_datapath(self, microflow, mask_cache, backend):
+        """ShardedDatapath(n_shards=1) ≡ Datapath, verdict for verdict.
+
+        Parametrised over megaflow backends: the sharding layer composes
+        whatever backend the config selects, so the invariant must hold
+        (with backend-native ``masks_inspected`` units) for each.
+        """
         config = DatapathConfig(
             microflow_capacity=microflow,
             enable_mask_cache=mask_cache,
             mask_cache_size=16,
+            megaflow_backend=backend,
         )
         table_a, keys = attack_replay()
         table_b = FlowTable(rules=list(table_a))
@@ -119,9 +133,10 @@ class TestShardEquivalence:
         assert sharded.stats.upcalls == plain.stats.upcalls
         assert sharded.stats.installs == plain.stats.installs
 
-    def test_aggregate_totals_invariant_to_shard_count(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_aggregate_totals_invariant_to_shard_count(self, backend):
         """The installed entry/mask union is shard-count independent."""
-        config = DatapathConfig(microflow_capacity=0)
+        config = DatapathConfig(microflow_capacity=0, megaflow_backend=backend)
         unions = []
         mask_unions = []
         for n_shards in (1, 2, 4):
@@ -288,11 +303,16 @@ class TestShardedDpctl:
 
 
 class TestGuardAndRevalidatorOnShards:
-    def test_guard_cleans_every_shard(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_guard_cleans_every_shard(self, backend):
         from repro.core.mitigation import MFCGuard, MFCGuardConfig
 
         table = SIPDP.build_table()
-        datapath = ShardedDatapath(table, DatapathConfig(microflow_capacity=0), n_shards=2)
+        datapath = ShardedDatapath(
+            table,
+            DatapathConfig(microflow_capacity=0, megaflow_backend=backend),
+            n_shards=2,
+        )
         trace = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate()
         datapath.process_batch(list(trace.keys))
         masks_before = datapath.n_masks
@@ -302,13 +322,16 @@ class TestGuardAndRevalidatorOnShards:
         assert report.entries_deleted > 0
         assert datapath.n_masks < masks_before
 
-    def test_revalidator_enforces_aggregate_flow_limit(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_revalidator_enforces_aggregate_flow_limit(self, backend):
         from repro.switch.revalidator import Revalidator
 
         table = FlowTable()
         table.add_rule(Match(tp_dst=(80, 0xFFFF)), ALLOW, priority=1, name="allow-80")
         table.add_default_deny()
-        config = DatapathConfig(microflow_capacity=0, max_megaflows=1000)
+        config = DatapathConfig(
+            microflow_capacity=0, max_megaflows=1000, megaflow_backend=backend
+        )
         datapath = ShardedDatapath(table, config, n_shards=2)
         keys = [FlowKey(ip_src=i, tp_dst=80, ip_proto=6) for i in range(64)]
         datapath.process_batch(keys, now=0.0)

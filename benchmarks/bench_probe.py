@@ -1,0 +1,119 @@
+"""Probe-native cost plane benchmarks: TSS identity + netsim defense guard.
+
+Two guards, persisted to ``results/BENCH_probe.json``:
+
+* **TSS probe-plane identity** — on a live SipSpDp detonation the probe
+  currency must collapse to the historical mask accounting for TSS:
+  per-packet ``probe_costs`` equal ``max(mask_counts, 1)``,
+  ``expected_scan_cost() == max(n_masks, 1)``, and the cost model's
+  probe-unit entry points price identically to the mask-count formulas.
+  This is the invariant that keeps every Table 1 / Fig 8-9 preset
+  byte-identical to the pre-probe-plane model.
+* **Netsim defense visibility** — the full hypervisor time series of the
+  ``backendsweep`` experiment, one run per backend, under the 8k-mask
+  SipSpDp detonation: the grouped (tuplechain) backend's victim floor
+  must sit strictly — and substantially — above TSS's, because victim
+  budgets are now divided by each backend's *expected scan cost* instead
+  of the shared exploded mask count.
+
+``REPRO_BENCH_SMOKE=1`` shortens the simulated window and attack rate
+(the staircase still detonates fully; the floors just settle over fewer
+ticks) and publishes to ``BENCH_probe.smoke.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_probe.py -q -s
+"""
+
+from __future__ import annotations
+
+import pytest
+from common import SMOKE, publish, section62_trace, warmed
+
+from repro.experiments.backendsweep import run_netsim_cell
+from repro.netsim.cloud import SYNTHETIC_ENV
+
+# The grouped backend's victim must keep at least this much more of its
+# throughput than the TSS victim under the identical detonation.
+DEFENSE_FLOOR_RATIO = 10.0
+
+NETSIM = dict(
+    use_case_name="SipSpDp",
+    duration=20.0 if SMOKE else 35.0,
+    attack_start=3.0 if SMOKE else 5.0,
+    attack_stop=13.0 if SMOKE else 25.0,
+    attack_pps=1200.0,
+)
+
+
+def test_tss_probe_plane_is_the_mask_plane():
+    """For TSS the probe currency must reproduce mask accounting exactly."""
+    keys = section62_trace()
+    datapath = warmed(keys, backend="tss")
+    cache = datapath.megaflows
+    assert cache.probe_unit_cost() == 1.0
+    assert cache.expected_scan_cost() == float(max(datapath.n_masks, 1))
+
+    # A live replay (no installs: established flows) and a fresh detonation
+    # (installs mid-batch) both report probe costs == max(mask count, 1).
+    cache.clear_memo()
+    batch = datapath.process_batch(keys)
+    assert list(batch.probe_costs) == [float(max(m, 1)) for m in batch.mask_counts]
+
+    fresh = warmed([], backend="tss")
+    fresh.megaflows.clear_memo()
+    growing = fresh.process_batch(keys)
+    assert list(growing.probe_costs) == [float(max(m, 1)) for m in growing.mask_counts]
+
+    # The cost model's probe entry points collapse to the mask formulas.
+    model = SYNTHETIC_ENV.cost_model
+    for masks in (1, 17, 513, datapath.n_masks):
+        assert model.victim_cost_units_probes(float(masks)) == model.victim_cost_units(masks)
+        for upcall in (False, True):
+            assert model.attack_cost_units_probes(float(masks), upcall) == model.attack_cost_units(
+                masks, upcall
+            )
+    charged = model.attack_units_batch(batch.probe_costs, upcall_count=3)
+    legacy = model.attack_units_batch([max(m, 1) for m in batch.mask_counts], upcall_count=3)
+    assert charged == pytest.approx(legacy, rel=0, abs=0)
+
+
+def test_netsim_probe_aware_defense():
+    """Grouped victim throughput stays up where the TSS victim starves."""
+    cells = {
+        name: run_netsim_cell(name, **NETSIM) for name in ("tss", "tuplechain")
+    }
+    tss, chain = cells["tss"], cells["tuplechain"]
+
+    assert tss["peak_masks"] >= (1000 if SMOKE else 8000), tss["peak_masks"]
+    assert chain["peak_masks"] == tss["peak_masks"]  # same detonation installed
+    # TSS prices the scan at the mask count; the grouped walk stays bounded.
+    assert tss["peak_scan_cost"] == float(tss["peak_masks"])
+    assert chain["peak_scan_cost"] < tss["peak_scan_cost"] / 10
+
+    publish(
+        "probe",
+        {
+            "workload": "backendsweep-netsim-sipspdp",
+            "attack_pps": NETSIM["attack_pps"],
+            "attack_window_s": NETSIM["attack_stop"] - NETSIM["attack_start"],
+            "detonation_trace_packets": tss["trace_packets"],
+            "masks": tss["peak_masks"],
+            "tss_scan_cost_units": tss["peak_scan_cost"],
+            "tuplechain_scan_cost_units": round(chain["peak_scan_cost"], 1),
+            "victim_baseline_gbps": round(tss["baseline_gbps"], 3),
+            "tss_victim_floor_gbps": round(tss["floor_gbps"], 4),
+            "tuplechain_victim_floor_gbps": round(chain["floor_gbps"], 4),
+            "floor_ratio_tuplechain_vs_tss": round(
+                chain["floor_gbps"] / max(tss["floor_gbps"], 1e-9), 1
+            ),
+        },
+    )
+
+    # Strictly above — and by a defense-sized margin, not noise.
+    assert chain["floor_gbps"] > tss["floor_gbps"]
+    assert chain["floor_gbps"] > DEFENSE_FLOOR_RATIO * tss["floor_gbps"], (
+        chain["floor_gbps"],
+        tss["floor_gbps"],
+    )
+    assert chain["floor_gbps"] > 0.2 * chain["baseline_gbps"]

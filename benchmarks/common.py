@@ -9,7 +9,9 @@ the one copy of the workload builders, the replay timers, and the
 
 ``REPRO_BENCH_SMOKE=1`` (CI) shrinks the replay and timing rounds — the
 guards still bite (the SipSpDp detonation dominates the mask count), they
-just stop dominating CI wall-clock.
+just stop dominating CI wall-clock — and redirects :func:`publish` to
+``results/BENCH_<name>.smoke.json`` so reduced-budget numbers never
+overwrite the committed full-size ``results/BENCH_*.json`` trajectory.
 """
 
 from __future__ import annotations
@@ -132,9 +134,17 @@ def replay_sequential_pps(
 
 
 def publish(name: str, payload: dict) -> Path:
-    """Write ``results/BENCH_<name>.json`` and print the payload."""
+    """Write ``results/BENCH_<name>.json`` and print the payload.
+
+    Smoke runs (``REPRO_BENCH_SMOKE=1``) publish to
+    ``BENCH_<name>.smoke.json`` instead: their reduced budgets would
+    otherwise silently overwrite the committed full-size perf trajectory
+    every time CI runs.  The ``.smoke.json`` files are gitignored — CI
+    artifacts only.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"BENCH_{name}.json"
+    suffix = ".smoke.json" if SMOKE else ".json"
+    path = RESULTS_DIR / f"BENCH_{name}{suffix}"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nBENCH_{name} -> {path}")
     for key, value in sorted(payload.items()):

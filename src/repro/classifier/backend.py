@@ -32,12 +32,27 @@ Within one backend the batch path must report the same units as the
 sequential path (batch ≡ sequential); across backends only verdicts and
 installed entries are comparable, which is what the differential tests
 compare.
+
+The **probe-cost surface** makes those native units priceable across the
+whole stack: every backend declares :meth:`MegaflowBackend.probe_unit_cost`
+(how many *calibrated single-table probes* one native probe unit costs —
+the normalisation constant of the cost plane) and
+:meth:`MegaflowBackend.expected_scan_cost` (the expected cost of one full
+scan of the current cache, in normalised probe units — the quantity the
+calibrated cost curves take as their argument).  For TSS probes ≡ masks
+and the unit cost is 1.0, so the normalised scan cost *is* the mask count
+and every mask-count-anchored consumer (the Table 1 / Fig 8-9 presets)
+reproduces byte-identically; for the grouped backend the scan cost tracks
+the observed chain walks, which is what lets the hypervisor's time series
+finally see the defense.  :meth:`MegaflowBackend.probe_cost_snapshot`
+bundles the currency into one introspection record for dpctl, MFCGuard
+and the dilution detector.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Protocol, Sequence, runtime_checkable
+from typing import Callable, Iterator, Protocol, runtime_checkable
 
 from repro.classifier.actions import Action
 from repro.exceptions import CacheInvariantError, ClassifierError
@@ -50,6 +65,7 @@ __all__ = [
     "TssLookupResult",
     "LookupResult",
     "BatchLookupResult",
+    "ProbeCostSnapshot",
     "MegaflowBackend",
     "MegaflowStore",
     "LiveBatchScanner",
@@ -161,6 +177,36 @@ class BatchLookupResult:
         return sum(r.masks_inspected for r in self.results)
 
 
+@dataclass(frozen=True)
+class ProbeCostSnapshot:
+    """One backend's lookup-cost currency, in one introspection record.
+
+    Attributes:
+        backend: implementing class name (diagnostic label).
+        n_masks: installed distinct masks — still the attack's *detection*
+            figure of merit, even where it no longer implies scan cost.
+        unit_cost: calibrated single-table-probe units per backend-native
+            probe unit (1.0 for TSS: a native probe *is* a table probe).
+        scan_cost: expected cost of one full scan of the current cache, in
+            normalised probe units (``n_masks`` for TSS).  This is the
+            argument the calibrated cost curves take.
+        scans: lookups that ran the backend's scan (memo hits excluded).
+        probes_total: native probe units spent across all scans.
+    """
+
+    backend: str
+    n_masks: int
+    unit_cost: float
+    scan_cost: float
+    scans: int
+    probes_total: int
+
+    @property
+    def probes_per_scan(self) -> float:
+        """Observed mean native probes per scan (0.0 before any scan)."""
+        return self.probes_total / self.scans if self.scans else 0.0
+
+
 @runtime_checkable
 class MegaflowBackend(Protocol):
     """What the switch layers require of a megaflow cache.
@@ -176,6 +222,8 @@ class MegaflowBackend(Protocol):
     check_invariants: bool
     stats_hits: int
     stats_misses: int
+    stats_scans: int
+    stats_scan_probes: int
 
     # -- size ----------------------------------------------------------------
     @property
@@ -200,6 +248,15 @@ class MegaflowBackend(Protocol):
     ) -> MegaflowEntry | None: ...
 
     def find(self, key: FlowKey) -> MegaflowEntry | None: ...
+
+    # -- probe-cost surface ----------------------------------------------------
+    def probe_unit_cost(self) -> float: ...
+
+    def expected_scan_cost(self) -> float: ...
+
+    def structural_scan_cost(self) -> float: ...
+
+    def probe_cost_snapshot(self) -> ProbeCostSnapshot: ...
 
     # -- mutation -------------------------------------------------------------
     def insert(self, entry: MegaflowEntry, now: float = 0.0) -> MegaflowEntry: ...
@@ -274,6 +331,12 @@ class MegaflowStore:
         self._order_seq = 0
         self.stats_hits = 0
         self.stats_misses = 0
+        # Probe accounting: every scan (memo hits excluded) funnels its
+        # backend-native ``masks_inspected`` through :meth:`_account_scan`,
+        # so the probe currency is observable per backend (dpctl, the cost
+        # plane's snapshots) and batch ≡ sequential extends to probe stats.
+        self.stats_scans = 0
+        self.stats_scan_probes = 0
 
     # -- size ----------------------------------------------------------------
     @property
@@ -360,6 +423,7 @@ class MegaflowStore:
         if memoised is not None:
             return memoised
         result = self._scan(key, key_values, now)
+        self._account_scan(result)
         self._memo_store(key_values, result)
         return result
 
@@ -380,6 +444,65 @@ class MegaflowStore:
         no coherence protocol is needed.
         """
         return LiveBatchScanner(self, list(keys), now)
+
+    # -- probe-cost surface -------------------------------------------------------
+    def _account_scan(self, result: TssLookupResult) -> None:
+        """Record one performed scan's probe spend (the single funnel).
+
+        Both the sequential :meth:`lookup` and any batch scanner must route
+        every *scan* (not memo hits — those probe nothing) through here, so
+        the probe currency stays batch ≡ sequential.  Subclasses may extend
+        it to feed backend-specific cost estimators.
+        """
+        self.stats_scans += 1
+        self.stats_scan_probes += result.masks_inspected
+
+    def probe_unit_cost(self) -> float:
+        """Calibrated single-table-probe units per native probe unit.
+
+        The normalisation constant of the probe-native cost plane: a
+        backend whose probes are plain hash-table probes declares 1.0; a
+        backend whose probe step does more (or less) work than one table
+        probe declares the ratio, and every consumer (cost model,
+        hypervisor, MFCGuard) prices its ``masks_inspected`` through it.
+        """
+        return 1.0
+
+    def structural_scan_cost(self) -> float:
+        """Full-scan cost implied by the cache *structure alone* (native units).
+
+        Traffic-independent: what one worst-case (miss) scan costs given
+        the installed masks, with no observed-workload input.  The generic
+        store scans every mask table, so this is ``max(n_masks, 1)`` —
+        which makes probes ≡ masks the default and TSS the identity case.
+        Backends whose cost is structural-but-sublinear (the group trie)
+        override it; the dilution detector compares these across
+        hypothetical cache contents.
+        """
+        return float(max(self.n_masks, 1))
+
+    def expected_scan_cost(self) -> float:
+        """Expected cost of one full scan now, in *normalised* probe units.
+
+        This is the probe-native generalisation of "the mask count": the
+        argument the calibrated cost curves take.  The default (and TSS)
+        answer is the structural cost times the unit cost — for TSS
+        exactly ``max(n_masks, 1)``, keeping every mask-count-anchored
+        preset byte-identical.  Backends with observed-cost estimators
+        (the grouped backend's chain walks) override it.
+        """
+        return self.probe_unit_cost() * self.structural_scan_cost()
+
+    def probe_cost_snapshot(self) -> ProbeCostSnapshot:
+        """The cache's probe currency as one introspection record."""
+        return ProbeCostSnapshot(
+            backend=type(self).__name__,
+            n_masks=self.n_masks,
+            unit_cost=self.probe_unit_cost(),
+            scan_cost=self.expected_scan_cost(),
+            scans=self.stats_scans,
+            probes_total=self.stats_scan_probes,
+        )
 
     # -- accounting ------------------------------------------------------------
     def _register_hit(self, entry: MegaflowEntry, now: float) -> None:

@@ -146,6 +146,13 @@ class TupleSpaceSearch(MegaflowStore):
 
     RESORT_INTERVAL = 1024  # lookups between re-sorts under "hit_sorted"
 
+    # Probe-cost surface: TSS is the identity case of the probe-native
+    # cost plane — one native probe unit is one mask-table probe
+    # (``probe_unit_cost() == 1.0``) and a full scan probes every mask
+    # (``expected_scan_cost() == max(n_masks, 1)``), both inherited from
+    # :class:`MegaflowStore`.  Every mask-count-anchored consumer
+    # therefore prices TSS exactly as before the probe refactor.
+
     def __init__(self, check_invariants: bool = False, scan_policy: str = "insertion"):
         if scan_policy not in ("insertion", "hit_sorted"):
             raise CacheInvariantError(f"unknown scan policy {scan_policy!r}")
@@ -452,6 +459,7 @@ class _BatchScanner:
         if memoised is not None:
             return memoised
         result = self._scan_key(i, key, key_values)
+        tss._account_scan(result)
         tss._memo_store(key_values, result)
         return result
 

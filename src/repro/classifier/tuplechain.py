@@ -28,7 +28,13 @@ number of per-variant hash probes the walk performed — the backend-native
 analogue of TSS's mask-tables-scanned.  Verdicts, installed entries and
 statistics are identical to TSS (differential-tested in
 ``tests/test_backend.py``); only the cost figure is measured in the
-backend's own currency.
+backend's own currency.  The probe-cost surface normalises that currency
+for the rest of the stack: one chain probe is one hash-table probe
+(``probe_unit_cost() == 1.0``) and :meth:`TupleChainSearch.expected_scan_cost`
+reports the expected walk cost — an EMA of observed scans, structurally
+estimated before any traffic — which is what makes the grouped defense
+visible to the hypervisor's throughput time series instead of being
+priced at the (exploded) mask count.
 
 Invariants:
 
@@ -90,7 +96,20 @@ class TupleChainSearch(MegaflowStore):
         super().__init__(check_invariants=check_invariants)
         self._root: _Node = {}
         self._trie_dirty = False
-        self.stats_chain_probes = 0  # total probe units across all scans
+        # Probe-cost estimators: an exponential moving average of observed
+        # full (miss) chain walks (reset when the structure shrinks or is
+        # rebuilt) and a cached structural walk cost (recomputed lazily).
+        self._ema_probes: float | None = None
+        self._structural_cost: float | None = None
+
+    #: EMA weight: each new scan moves the estimate 1/8 of the way — smooth
+    #: enough to ignore one shallow walk, fast enough to track a detonation.
+    EMA_WEIGHT = 8.0
+
+    @property
+    def stats_chain_probes(self) -> int:
+        """Total chain probes across all scans (alias of the shared funnel)."""
+        return self.stats_scan_probes
 
     # -- group introspection -------------------------------------------------
     @property
@@ -110,13 +129,89 @@ class TupleChainSearch(MegaflowStore):
             sizes[signature] = sizes.get(signature, 0) + 1
         return sizes
 
+    # -- probe-cost surface ----------------------------------------------------
+    def probe_unit_cost(self) -> float:
+        """One chain probe is one hash-table probe: same currency as TSS.
+
+        A chain step masks a single field and probes one sub-mask
+        variant's table — the same work a TSS mask probe does for one
+        (all-field) mask, so the calibrated single-table-probe unit maps
+        1:1.  Declared explicitly so backends with heavier probe steps
+        know where to plug a different constant.
+        """
+        return 1.0
+
+    def _account_scan(self, result: TssLookupResult) -> None:
+        super()._account_scan(result)
+        # Only *misses* feed the estimator: a miss traverses every matching
+        # branch, so its probe count is the full-scan cost the calibrated
+        # curves take.  Hit walks terminate early (their position discount
+        # is already embedded in the curve fit — counting them here would
+        # discount twice and deflate the estimate below what a fresh flow
+        # actually pays).
+        if result.entry is None:
+            probes = float(result.masks_inspected)
+            if self._ema_probes is None:
+                self._ema_probes = probes
+            else:
+                self._ema_probes += (probes - self._ema_probes) / self.EMA_WEIGHT
+
+    def structural_scan_cost(self) -> float:
+        """Mean per-entry chain-walk cost implied by the trie structure.
+
+        For each installed entry, sum the sub-mask variant probes the walk
+        performs at every node along the entry's own path; average over
+        entries.  Traffic-independent (usable on scratch caches that have
+        never served a lookup), O(entries x fields) and cached until the
+        next mutation.  A lower-bound estimate: the DFS may also descend
+        side branches that match the packet, but for the staircase shapes
+        a TSE carves the hit path dominates.
+        """
+        if self._structural_cost is None:
+            if self._trie_dirty:
+                self._rebuild_trie()
+            total = 0
+            count = 0
+            for table in self._tables.values():
+                for entry in table.values():
+                    node = self._root
+                    for index in range(_LAST):
+                        total += len(node)
+                        node = node[entry.mask.values[index]][entry.key[index]]
+                    total += len(node)
+                    count += 1
+            self._structural_cost = total / count if count else 1.0
+        return self._structural_cost
+
+    def expected_scan_cost(self) -> float:
+        """Expected *full* chain-walk cost now, in normalised probe units.
+
+        Prefers the observed EMA of actual miss scans — full traversals,
+        "priced from the actual verdicts" — and falls back to the
+        structural walk estimate on a cache whose structure has not been
+        miss-scanned since it last changed.  Clamped to >= 1: even an
+        empty cache costs one probe to dismiss, matching the TSS
+        convention ``max(n_masks, 1)``.
+        """
+        estimate = self._ema_probes
+        if estimate is None:
+            estimate = self.structural_scan_cost()
+        return max(1.0, self.probe_unit_cost() * estimate)
+
     # -- store hooks -----------------------------------------------------------
     def _index_invalidate(self) -> None:
         self._trie_dirty = True
+        # The structure changed shape (removal / flush / reorder): observed
+        # means no longer describe it, and the cached walk cost is stale.
+        self._ema_probes = None
+        self._structural_cost = None
 
     def _index_insert(self, entry: MegaflowEntry, new_mask: bool) -> None:
         if not self._trie_dirty:
             self._trie_add(entry)
+        # Inserts deepen chains without invalidating observed scans: keep
+        # the EMA (it adapts), drop only the cached structural walk.
+        self._structural_cost = None
 
     def _trie_add(self, entry: MegaflowEntry) -> None:
         node = self._root
@@ -169,7 +264,6 @@ class TupleChainSearch(MegaflowStore):
                     entry = table.get(value & submask)
                     if entry is not None and self.find_entry(entry):
                         self._register_hit(entry, now)
-                        self.stats_chain_probes += probes
                         return TssLookupResult(entry=entry, masks_inspected=probes)
                 continue
             for submask, table in node.items():
@@ -178,7 +272,6 @@ class TupleChainSearch(MegaflowStore):
                 if child is not None:
                     stack.append((depth + 1, child))
         self._register_miss()
-        self.stats_chain_probes += probes
         return TssLookupResult(entry=None, masks_inspected=probes)
 
     # -- diagnostics -------------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.core.detector import (
     entry_matches_pattern,
     find_tse_entries,
     tse_mask_fraction,
+    tse_scan_cost_dilution,
 )
 from repro.core.general import GeneralTraceGenerator
 from repro.core.mitigation import GuardReport, MFCGuard, MFCGuardConfig
@@ -76,6 +77,7 @@ __all__ = [
     "entry_matches_pattern",
     "find_tse_entries",
     "tse_mask_fraction",
+    "tse_scan_cost_dilution",
     "MFCGuard",
     "MFCGuardConfig",
     "GuardReport",

@@ -18,12 +18,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.classifier.backend import MegaflowBackend, MegaflowEntry
+from repro.classifier.backend import (
+    MegaflowBackend,
+    MegaflowEntry,
+    backend_name_of,
+    make_megaflow_backend,
+)
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import FlowRule
 from repro.packet.fields import FIELD_ORDER, FIELDS
 
-__all__ = ["TsePattern", "entry_matches_pattern", "find_tse_entries", "tse_mask_fraction"]
+__all__ = [
+    "TsePattern",
+    "entry_matches_pattern",
+    "find_tse_entries",
+    "tse_mask_fraction",
+    "tse_scan_cost_dilution",
+]
 
 _INDEX = {name: i for i, name in enumerate(FIELD_ORDER)}
 
@@ -110,10 +121,41 @@ def find_tse_entries(cache: MegaflowBackend, table: FlowTable) -> list[TsePatter
 
 
 def tse_mask_fraction(cache: MegaflowBackend, table: FlowTable) -> float:
-    """Fraction of cache masks attributable to TSE patterns (a health metric)."""
-    if cache.n_masks == 0:
+    """Fraction of cache masks attributable to TSE patterns (a health metric).
+
+    Masks are the *composition* metric (how much of the tuple space the
+    attack carved), backend-independent by construction; what scanning
+    that composition costs is :func:`tse_scan_cost_dilution`'s question.
+    """
+    n_masks = cache.n_masks
+    if n_masks == 0:
         return 0.0
     suspicious: set = set()
     for pattern in find_tse_entries(cache, table):
         suspicious.update(entry.mask for entry in pattern.entries)
-    return len(suspicious) / cache.n_masks
+    return len(suspicious) / n_masks
+
+
+def tse_scan_cost_dilution(cache: MegaflowBackend, table: FlowTable) -> float:
+    """How much TSE-attributed entries inflate the cache's scan cost (>= 1).
+
+    The probe-native dilution ratio: the cache's structural full-scan cost
+    divided by the structural cost of the same backend holding only the
+    non-TSE entries.  For TSS this is the mask-count ratio (every mask is
+    one probe), reproducing the old ``n_masks``-anchored dilution; for
+    grouped backends it is computed in their own chain-probe currency and
+    stays near 1 even when :func:`tse_mask_fraction` approaches 1 — the
+    staircase shares chain steps, so the attack dilutes the *mask list*
+    without diluting the *scan*.  That contrast is exactly what a
+    chain-aware MFCGuard keys on.
+    """
+    patterns = find_tse_entries(cache, table)
+    suspicious = {id(entry) for pattern in patterns for entry in pattern.entries}
+    name = backend_name_of(cache)
+    clean = make_megaflow_backend(name) if name is not None else type(cache)()
+    for entry in cache.entries():
+        if id(entry) not in suspicious:
+            clean.insert(MegaflowEntry(mask=entry.mask, key=entry.key, action=entry.action))
+    dirty_cost = cache.probe_unit_cost() * cache.structural_scan_cost()
+    clean_cost = clean.probe_unit_cost() * clean.structural_scan_cost()
+    return dirty_cost / clean_cost

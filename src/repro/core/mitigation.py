@@ -32,6 +32,15 @@ class MFCGuardConfig:
 
     Attributes:
         mask_threshold: ``m_th`` — masks tolerated before cleaning starts.
+        probe_cost_threshold: ``p_th`` — expected full-scan cost (in the
+            backend's normalised probe units) additionally required before
+            cleaning starts, or ``None`` to trigger on masks alone (the
+            paper's TSS-era behaviour).  Mask count no longer implies scan
+            cost on grouped backends: an 8k-mask staircase that a chained
+            lookup walks in ~60 probes is not worth the permanent
+            slow-path demotion deleting entries costs, so a chain-aware
+            deployment sets both thresholds and the guard stands down
+            while the probe cost stays low.
         cpu_threshold_pct: ``c_th`` — slow-path CPU budget; deletion stops
             when the projected load reaches it.
         period: seconds between runs (the paper uses 10 s).
@@ -40,6 +49,7 @@ class MFCGuardConfig:
     """
 
     mask_threshold: int = 100
+    probe_cost_threshold: float | None = None
     cpu_threshold_pct: float = 90.0
     period: float = 10.0
     permanent_delete: bool = True
@@ -47,6 +57,8 @@ class MFCGuardConfig:
     def __post_init__(self) -> None:
         if self.mask_threshold < 0:
             raise ExperimentError("mask_threshold must be >= 0")
+        if self.probe_cost_threshold is not None and self.probe_cost_threshold < 0:
+            raise ExperimentError("probe_cost_threshold must be >= 0")
         if not 0 < self.cpu_threshold_pct <= 1000:
             raise ExperimentError("cpu_threshold_pct out of range")
         if self.period <= 0:
@@ -60,10 +72,12 @@ class GuardReport:
     ran: bool = False
     masks_before: int = 0
     masks_after: int = 0
+    probe_cost_before: float = 0.0
     entries_deleted: int = 0
     rules_cleaned: tuple[str, ...] = ()
     projected_cpu_pct: float = 0.0
     stopped_by_cpu: bool = False
+    stood_down_by_probe_cost: bool = False
 
 
 class MFCGuard:
@@ -78,9 +92,12 @@ class MFCGuard:
     The guard drives caches through the
     :class:`~repro.classifier.backend.MegaflowBackend` protocol only
     (``entries()`` via the detector, ``kill_entry`` via the datapath), so
-    it works unchanged over non-TSS backends — the mask *count* threshold
-    still applies, even where the backend's scan cost no longer grows with
-    it.
+    it works unchanged over non-TSS backends — and with
+    ``probe_cost_threshold`` set it is *chain-aware*: it reads the worst
+    core's expected scan cost in the backend's normalised probe units and
+    stands down while an exploded mask count remains cheap to scan,
+    because deleting entries buys nothing and costs permanent slow-path
+    demotion (§8's requirement (ii) generalised to the probe currency).
 
     Args:
         datapath: the switch to guard (plain or sharded).
@@ -112,13 +129,34 @@ class MFCGuard:
         return self.run(now)
 
     # -- Algorithm 2 ------------------------------------------------------------
+    def probe_cost(self) -> float:
+        """Worst per-core expected full-scan cost (normalised probe units).
+
+        The chain-aware counterpart of the ``ovs-dpctl`` mask count the
+        paper's guard reads: what one scan actually costs on the most
+        loaded core, in the backend's own calibrated currency.
+        """
+        return max(
+            shard.megaflows.expected_scan_cost() for shard in self.datapath.shards
+        )
+
     def run(self, now: float) -> GuardReport:
-        """One guard pass: check masks, scan rules, delete, watch CPU."""
+        """One guard pass: check masks (and probe cost), scan rules, delete, watch CPU."""
         self.runs += 1
         masks_before = self.datapath.n_masks
+        probe_cost_before = self.probe_cost()
         report = GuardReport(ran=True, masks_before=masks_before, masks_after=masks_before,
+                             probe_cost_before=probe_cost_before,
                              projected_cpu_pct=self.projected_cpu_pct())
         if masks_before <= self.config.mask_threshold:
+            return report
+        if (
+            self.config.probe_cost_threshold is not None
+            and probe_cost_before < self.config.probe_cost_threshold
+        ):
+            # Mask count exploded but scanning it is still cheap (grouped
+            # backend): deleting would trade nothing for permanent upcalls.
+            report.stood_down_by_probe_cost = True
             return report
 
         deleted = 0
@@ -151,6 +189,7 @@ class MFCGuard:
             ran=True,
             masks_before=masks_before,
             masks_after=self.datapath.n_masks,
+            probe_cost_before=probe_cost_before,
             entries_deleted=deleted,
             rules_cleaned=tuple(dict.fromkeys(cleaned)),
             projected_cpu_pct=self.projected_cpu_pct(),

@@ -3,39 +3,136 @@
 The §7 discussion argues the TSE attack is specific to Tuple Space Search:
 any cache whose lookup cost does not scale with the installed mask count
 shrugs the detonation off.  With the megaflow cache behind the pluggable
-:class:`~repro.classifier.backend.MegaflowBackend` seam this is now
-measurable *inside the full cached datapath* (the regime the OVS
-feasibility follow-up, arXiv:2011.09107, says defenses must be judged in),
-not just on bare classifiers: this harness runs the identical three-phase
-traffic program — benign, co-located TSE detonation, benign again —
-through one datapath per registered backend and reports, per backend, the
-mask/entry growth (identical by construction: the slow path installs the
-same entries regardless of the cache that stores them) and the per-packet
-lookup cost in the backend's native probe units (mask tables scanned for
-TSS, chain probes for the grouped TupleChain backend).
+:class:`~repro.classifier.backend.MegaflowBackend` seam *and* the cost
+plane priced in backend-native probe units, this is measurable in two
+regimes, both covered here:
 
-The headline contrast: after the attack, TSS probes grow with the mask
-count it inherited, while the grouped backend's chain probes stay near
-their pre-attack level — the defense effect the ``bench_backend`` guard
-pins with wall-clock numbers on the full 8k-mask detonation.
+* **the probe table** — the identical three-phase traffic program (benign,
+  co-located TSE detonation, benign again) through one bare datapath per
+  registered backend, reporting mask/entry growth (identical by
+  construction) and per-packet lookup cost in the backend's native probe
+  units;
+* **the netsim time series** — the full Fig. 7 hypervisor under a
+  detonation window, one run per backend, with victim throughput settled
+  by the probe-native cost plane.  Because the hypervisor now divides
+  budgets by ``expected_scan_cost()`` instead of the mask count, the
+  grouped backend's victim *visibly keeps its throughput* while TSS's
+  collapses — the regime the OVS feasibility follow-up (arXiv:2011.09107)
+  says defenses must be judged in, not just bare replay pps.
+
+The headline contrast: after the attack both backends hold the same
+exploded mask list, but TSS's expected scan cost *is* that mask count
+while the grouped backend's chain walk stays near its pre-attack level —
+so only the TSS victim starves.  ``benchmarks/bench_probe.py`` guards the
+netsim contrast on the full 8k-mask SipSpDp detonation and
+``bench_backend.py`` pins the wall-clock replay numbers.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 from repro.classifier.backend import megaflow_backend_names
 from repro.core.tracegen import ColocatedTraceGenerator
 from repro.core.usecases import use_case
 from repro.experiments.common import ExperimentResult, benign_keys
+from repro.experiments.testbeds import TRUSTED_IP, build_testbed
+from repro.netsim.cloud import SYNTHETIC_ENV
+from repro.netsim.cms import PolicyRule
+from repro.netsim.flows import ActiveWindow, AttackSource
 from repro.packet.headers import PROTO_TCP
 from repro.switch.datapath import Datapath, DatapathConfig
 
-__all__ = ["run"]
+__all__ = ["run", "run_netsim_cell", "attacker_rules"]
 
 
 def _mean_probes(verdicts) -> float:
     return sum(v.masks_inspected for v in verdicts) / max(len(verdicts), 1)
+
+
+def attacker_rules(use_case_name: str) -> list[PolicyRule]:
+    """The attacker's ACL for a named use case (§5.2 staircase products).
+
+    Each allow rule contributes one exact-match field whose bit-inversion
+    staircase multiplies into the detonated tuple space: Dp = 16 masks,
+    SipDp = 16·32, SipSpDp = 16·32·16 (8,192 deny masks).
+    """
+    fields = use_case(use_case_name).allow_fields
+    rules = []
+    for field in fields:
+        if field == "tp_dst":
+            rules.append(PolicyRule(dst_port=80))
+        elif field == "tp_src":
+            rules.append(PolicyRule(src_port=1000))
+        elif field == "ip_src":
+            rules.append(PolicyRule(remote_ip=(TRUSTED_IP, 0xFFFFFFFF)))
+        else:  # pragma: no cover - no current use case reaches here
+            raise ValueError(f"no attacker rule template for field {field!r}")
+    return rules
+
+
+def run_netsim_cell(
+    backend: str,
+    use_case_name: str = "SipSpDp",
+    duration: float = 35.0,
+    attack_start: float = 5.0,
+    attack_stop: float = 25.0,
+    attack_pps: float = 1200.0,
+    offered_gbps: float = 10.0,
+    dt: float = 0.1,
+) -> dict:
+    """One backend's full netsim run: detonation window, settled victim rates.
+
+    Returns the time series plus its summary: victim baseline (max before
+    the attack), floor (min once the detonation has settled, from
+    ``attack_start + 5`` to ``attack_stop``), the final mask count and the
+    final expected scan cost in the backend's normalised probe units.
+    """
+    environment = replace(
+        SYNTHETIC_ENV, name=f"Synthetic/{backend}", megaflow_backend=backend
+    )
+    testbed = build_testbed(environment, dt=dt)
+    victim = testbed.add_victim_flow("victim", offered_gbps=offered_gbps)
+    trace = testbed.attack_trace(attacker_rules(use_case_name), label=use_case_name)
+    attacker = AttackSource(
+        host=testbed.server.host,
+        keys=trace.keys,
+        pps=attack_pps,
+        windows=[ActiveWindow(attack_start, attack_stop)],
+        name="attacker",
+    )
+    simulation = testbed.simulation
+    simulation.add(attacker)
+    simulation.add(testbed.server.host)
+
+    series: list[tuple[float, float, int, float]] = []
+
+    def observer(now: float) -> None:
+        victim.settle(now, dt)
+        datapath = testbed.server.datapath
+        series.append((now, victim.rate_gbps, datapath.n_masks, datapath.scan_cost))
+
+    simulation.observe(observer)
+    simulation.run(duration)
+
+    settle_from = attack_start + 5.0
+    baseline = max((r for t, r, _m, _c in series if t < attack_start), default=0.0)
+    floor = min(
+        (r for t, r, _m, _c in series if settle_from <= t < attack_stop),
+        default=float("inf"),
+    )
+    peak_masks = max(m for _t, _r, m, _c in series)
+    peak_cost = max(c for _t, _r, _m, c in series)
+    return {
+        "backend": backend,
+        "series": series,
+        "baseline_gbps": baseline,
+        "floor_gbps": floor,
+        "peak_masks": peak_masks,
+        "peak_scan_cost": peak_cost,
+        "trace_packets": len(trace.keys),
+    }
 
 
 def run(
@@ -43,8 +140,21 @@ def run(
     benign_packets: int = 400,
     backends: Sequence[str] | None = None,
     seed: int = 0,
+    netsim: bool = True,
+    netsim_use_case: str | None = None,
+    duration: float = 35.0,
+    attack_start: float = 5.0,
+    attack_stop: float = 25.0,
+    attack_pps: float = 1200.0,
+    dt: float = 0.1,
 ) -> ExperimentResult:
-    """Run the three-phase program through a datapath per backend."""
+    """Run the three-phase probe table and the netsim time series per backend.
+
+    ``netsim_use_case`` defaults to ``use_case_name``; pass ``"SipSpDp"``
+    for the full 8k-mask detonation of the acceptance guard (what
+    ``bench_probe.py`` runs).  ``netsim=False`` skips the time-series
+    phase (bare-classifier probe table only).
+    """
     case = use_case(use_case_name)
     names = tuple(backends) if backends is not None else megaflow_backend_names()
     benign = benign_keys(case, benign_packets, seed)
@@ -56,8 +166,22 @@ def run(
         columns=[
             "backend", "masks", "entries", "groups",
             "benign_probe", "attack_probe", "benign_after_probe", "degradation_x",
-        ],
+        ]
+        + (["victim_baseline_gbps", "victim_floor_gbps", "scan_cost_units"] if netsim else []),
     )
+
+    cells: dict[str, dict] = {}
+    if netsim:
+        for name in names:
+            cells[name] = run_netsim_cell(
+                name,
+                use_case_name=netsim_use_case or use_case_name,
+                duration=duration,
+                attack_start=attack_start,
+                attack_stop=attack_stop,
+                attack_pps=attack_pps,
+                dt=dt,
+            )
 
     transcripts: dict[str, list] = {}
     for name in names:
@@ -89,7 +213,7 @@ def run(
         after_probe = _mean_probes(after_verdicts)
 
         transcripts[name] = actions
-        result.add_row(
+        row = [
             name,
             datapath.n_masks,
             datapath.n_megaflows,
@@ -98,7 +222,15 @@ def run(
             round(attack_probe, 2),
             round(after_probe, 2),
             round(after_probe / benign_probe if benign_probe else float("inf"), 1),
-        )
+        ]
+        if netsim:
+            cell = cells[name]
+            row += [
+                round(cell["baseline_gbps"], 3),
+                round(cell["floor_gbps"], 3),
+                round(cell["peak_scan_cost"], 1),
+            ]
+        result.add_row(*row)
 
     reference = transcripts[names[0]]
     agree = all(transcripts[name] == reference for name in names[1:])
@@ -114,6 +246,19 @@ def run(
         "masks/entries are backend-independent: the slow path generates the same "
         "megaflows, only the structure that scans them changes"
     )
+    if netsim:
+        detonation = netsim_use_case or use_case_name
+        for name in names:
+            cell = cells[name]
+            result.notes.append(
+                f"netsim ({detonation} detonation at {attack_pps:.0f} pps): {name} victim "
+                f"{cell['baseline_gbps']:.2f} -> {cell['floor_gbps']:.3f} Gbps at "
+                f"{cell['peak_masks']} masks / scan cost {cell['peak_scan_cost']:.1f} probe units"
+            )
+        result.notes.append(
+            "the probe-native cost plane prices each victim at its backend's expected "
+            "scan cost, so only backends whose scan cost tracks the mask count starve"
+        )
     return result
 
 

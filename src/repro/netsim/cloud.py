@@ -80,12 +80,11 @@ class EnvironmentProfile:
             to ``"tss"``; select ``"tuplechain"`` (or use
             ``dataclasses.replace``) to study the grouped-lookup defense
             regime of the §7 discussion / the ``backendsweep`` experiment.
-            Caveat: the hypervisor's victim cost model currently anchors
-            throughput on the *mask count*, which is backend-independent,
-            so time-series victim curves do not yet reflect the grouped
-            backend's cheaper scans — judge the defense by probe units
-            and replay pps (``backendsweep`` / ``bench_backend``) until
-            the probe-aware cost model lands (see ROADMAP follow-ups).
+            The cost plane prices work in the backend's normalised probe
+            units (``expected_scan_cost()``), so the grouped backend's
+            cheaper scans show up directly in the netsim Gbps/FCT time
+            series — and the ``"tss"`` presets price exactly as the
+            paper's mask-count model (probes ≡ masks).
         description: Table 1 provenance notes.
     """
 

@@ -11,8 +11,16 @@ time series of Fig. 8.  Each tick it:
    shard whose queue carried them;
 4. divides each core's remaining budget among the victim flows RSS pinned
    to that core, each paying its per-unit classification cost at *its
-   core's* mask count (the calibrated curve, or the cheap mask-memo path
-   for protected established flows).
+   core's* expected scan cost (the calibrated curve, or the cheap
+   mask-memo path for protected established flows).
+
+All work is priced in **normalised probe units** — the megaflow backend's
+own currency (``expected_scan_cost()`` / per-packet ``probe_costs``), not
+the mask count.  For TSS the two coincide exactly (probes ≡ masks), which
+preserves every paper preset byte-for-byte; for sublinear backends
+(tuplechain) the probe pricing is what makes the defense visible in the
+Gbps/FCT time series instead of being charged as if every installed mask
+were scanned.
 
 On a single-PMD datapath (every paper testbed) there is one core and the
 accounting reduces exactly to the original model; on a sharded datapath a
@@ -134,16 +142,21 @@ class HypervisorHost:
 
     # -- ingress from traffic sources ---------------------------------------------
     def inject_attack(self, key: FlowKey, now: float) -> PacketVerdict:
-        """Classify one attack packet; account its cost to its RSS core."""
+        """Classify one attack packet; account its cost to its RSS core.
+
+        The charge is the shard's expected scan cost *before* the packet,
+        in the backend's normalised probe units — for TSS exactly the old
+        ``max(n_masks, 1)`` mask-count charge.
+        """
         shard_id = self.datapath.shard_of(key)
         shard = self.datapath.shards[shard_id]
-        masks_before = shard.n_masks
+        scan_cost_before = shard.megaflows.expected_scan_cost()
         verdict = shard.process(key, now=now)
         upcall = verdict.is_upcall
         if verdict.path is PathTaken.MASK_CACHE:
             cost = 1.0  # single-table probe
         else:
-            cost = self.cost_model.attack_cost_units(max(masks_before, 1), upcall=upcall)
+            cost = self.cost_model.attack_cost_units_probes(scan_cost_before, upcall=upcall)
         self._attack_units[shard_id] += cost
         if upcall:
             self._upcalls += 1
@@ -154,29 +167,30 @@ class HypervisorHost:
         """Classify one batch of attack packets; account the batch's cost.
 
         Equivalent to ``[self.inject_attack(k, now) for k in keys]`` —
-        same verdicts, same units charged (each packet pays for the mask
-        count *its core* actually saw, via ``mask_counts``/``shard_ids``)
-        — but the datapath work runs through the batched pipeline and the
-        cost curve is evaluated per distinct mask count, not per packet.
+        same verdicts, same units charged (each packet pays the expected
+        scan cost *its core* reported before it ran, via
+        ``probe_costs``/``shard_ids``) — but the datapath work runs
+        through the batched pipeline and the cost curve is evaluated per
+        distinct probe cost, not per packet.
         """
         batch = self.datapath.process_batch(keys, now=now)
         shard_ids = getattr(batch, "shard_ids", None)
         if shard_ids is None or not shard_ids:
             shard_ids = (0,) * len(batch)
-        scan_counts: dict[int, list[int]] = {}
+        scan_costs: dict[int, list[float]] = {}
         upcalls_by_shard: dict[int, int] = {}
         total_upcalls = 0
-        for verdict, masks_before, shard_id in zip(batch.verdicts, batch.mask_counts, shard_ids):
+        for verdict, scan_cost, shard_id in zip(batch.verdicts, batch.probe_costs, shard_ids):
             if verdict.path is PathTaken.MASK_CACHE:
                 self._attack_units[shard_id] += 1.0  # single-table probe
                 continue
-            scan_counts.setdefault(shard_id, []).append(masks_before)
+            scan_costs.setdefault(shard_id, []).append(scan_cost)
             if verdict.is_upcall:
                 upcalls_by_shard[shard_id] = upcalls_by_shard.get(shard_id, 0) + 1
                 total_upcalls += 1
-        for shard_id, counts in scan_counts.items():
+        for shard_id, costs in scan_costs.items():
             self._attack_units[shard_id] += self.cost_model.attack_units_batch(
-                counts, upcalls_by_shard.get(shard_id, 0)
+                costs, upcalls_by_shard.get(shard_id, 0)
             )
         self._upcalls += total_upcalls
         self._slow_path_packets += total_upcalls
@@ -209,14 +223,15 @@ class HypervisorHost:
             raise SimulationError(f"unknown victim {name!r}") from None
 
     # -- the per-tick settlement -----------------------------------------------------
-    def _victim_unit_cost(self, state: VictimState, masks: int) -> float:
-        """Per-unit cost of one victim at ``masks`` masks (protection mix)."""
-        scan_cost = self.cost_model.victim_cost_units(masks)
+    def _victim_unit_cost(self, state: VictimState, scan_cost: float) -> float:
+        """Per-unit cost of one victim at full-scan cost ``scan_cost``
+        (normalised probe units, protection mix applied)."""
+        scan_units = self.cost_model.victim_cost_units_probes(scan_cost)
         if state.protected:
             cheap = 1.0
             chi = self.quirks.collision_rate
-            return (1.0 - chi) * cheap + chi * scan_cost
-        return scan_cost
+            return (1.0 - chi) * cheap + chi * scan_units
+        return scan_units
 
     def tick(self, now: float, dt: float) -> None:
         """Run maintenance, settle per-core CPU accounting, assign victim capacity."""
@@ -249,7 +264,9 @@ class HypervisorHost:
         ]
         available = [max(0.0, budget - c) for c in consumed]
 
-        # Victim protection state tracks the victim's own cores' mask load.
+        # Victim protection state tracks the victim's own cores' mask load
+        # (the mask-memo quirk is a *mask-count* behaviour: the kernel memo
+        # is per mask, so calm/attacked is judged on masks, not probes).
         active = [state for state in self.victims.values() if state.active]
         for state in active:
             masks = max(max(shards[s].n_masks for s in state.home_shards), 1)
@@ -258,6 +275,8 @@ class HypervisorHost:
         # Equal split of each core's remaining budget across the active
         # victims RSS pinned there; a victim spanning several cores (e.g.
         # forward + reverse keys hashed apart) sums its per-core shares.
+        # Each share is priced at the *owning core's* expected scan cost in
+        # the backend's normalised probe units (≡ mask count for TSS).
         if active:
             victims_on_core = [0] * len(shards)
             for state in active:
@@ -267,7 +286,9 @@ class HypervisorHost:
                 units_per_sec = 0.0
                 for s in state.home_shards:
                     share = available[s] / victims_on_core[s]
-                    cost = self._victim_unit_cost(state, max(shards[s].n_masks, 1))
+                    cost = self._victim_unit_cost(
+                        state, shards[s].megaflows.expected_scan_cost()
+                    )
                     units_per_sec += share / cost
                 gbps = units_per_sec * self.cost_model.unit_bits / 1e9
                 state.assigned_gbps = min(self.cost_model.link_gbps / len(active), gbps)

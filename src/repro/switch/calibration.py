@@ -4,9 +4,16 @@ We cannot measure the authors' Xeon/X710/CX-4 testbed, so the absolute
 cycles-per-lookup constants are fitted: for each NIC profile the relative
 throughput is modelled as
 
-    fraction(M) = min(1, 1 / (a + s*[M > 1] + b * M**gamma))
+    fraction(P) = min(1, 1 / (a + s*[P > 1] + b * P**gamma))
 
-where ``M`` is the number of megaflow-cache masks.  The terms have a
+where ``P`` is the expected full-scan cost of the megaflow cache in
+**normalised probe units** — calibrated single-table probes, the currency
+of the probe-native cost plane (see
+:meth:`repro.classifier.backend.MegaflowBackend.expected_scan_cost`).
+The paper's anchors are measured on Tuple Space Search, where one probe
+unit is one mask table and a full scan probes all of them, so for TSS
+``P`` *is* the mask count — the mask-count reading of these curves is the
+TSS special case, not a different parameterisation.  The terms have a
 mechanistic reading:
 
 * ``a`` — mask-independent per-unit cost (I/O, parsing, a microflow hit);
@@ -40,30 +47,40 @@ __all__ = ["CurveParams", "fit_profile", "fraction_of_baseline"]
 
 @dataclass(frozen=True)
 class CurveParams:
-    """Fitted parameters of ``fraction(M) = min(1, 1/(a + s·[M>1] + b·M^γ))``."""
+    """Fitted parameters of ``fraction(P) = min(1, 1/(a + s·[P>1] + b·P^γ))``.
+
+    ``P`` is a full-scan cost in normalised probe units; for TSS (where
+    the anchors were measured) it equals the mask count, so the
+    mask-count call sites are exact special cases, not approximations.
+    """
 
     a: float
     s: float
     b: float
     gamma: float
 
-    def relative_cost(self, masks: float) -> float:
-        """Per-unit classification cost, normalised to cost(1 mask) = 1."""
-        if masks < 0:
-            raise SwitchError(f"mask count must be >= 0, got {masks}")
-        masks = max(masks, 1.0)  # an empty MFC behaves like a single mask
-        step = self.s if masks > 1 else 0.0
-        return (self.a + step + self.b * masks**self.gamma) / (self.a + self.b)
+    def relative_cost(self, probe_units: float) -> float:
+        """Per-unit classification cost at full-scan cost ``probe_units``.
 
-    def fraction(self, masks: float) -> float:
-        """Fraction of baseline throughput at ``masks`` MFC masks."""
-        masks = max(masks, 1.0) if masks >= 0 else _raise_negative(masks)
-        step = self.s if masks > 1 else 0.0
-        return min(1.0, 1.0 / (self.a + step + self.b * masks**self.gamma))
+        Normalised to cost(one probe) = 1 — the single-mask baseline.
+        The curve already embeds the victim's average hit position in the
+        scan, so callers pass the *full*-scan cost, not a per-hit mean.
+        """
+        if probe_units < 0:
+            raise SwitchError(f"probe cost must be >= 0, got {probe_units}")
+        probe_units = max(probe_units, 1.0)  # an empty cache costs one probe
+        step = self.s if probe_units > 1 else 0.0
+        return (self.a + step + self.b * probe_units**self.gamma) / (self.a + self.b)
+
+    def fraction(self, probe_units: float) -> float:
+        """Fraction of baseline throughput at full-scan cost ``probe_units``."""
+        probe_units = max(probe_units, 1.0) if probe_units >= 0 else _raise_negative(probe_units)
+        step = self.s if probe_units > 1 else 0.0
+        return min(1.0, 1.0 / (self.a + step + self.b * probe_units**self.gamma))
 
 
-def _raise_negative(masks: float) -> float:
-    raise SwitchError(f"mask count must be >= 0, got {masks}")
+def _raise_negative(probe_units: float) -> float:
+    raise SwitchError(f"probe cost must be >= 0, got {probe_units}")
 
 
 def _fit(anchor_masks: tuple[int, ...], anchor_fractions: tuple[float, ...]) -> CurveParams:

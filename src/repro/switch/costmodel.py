@@ -11,6 +11,14 @@ single-mask MFC** for the given profile.  The fast path has a budget of
 baseline); every packet then costs its *relative cost* in units, so CPU
 contention between victim and attack traffic falls out of simple unit
 bookkeeping.
+
+Scan-cost convention: the cost curves take the cache's **expected
+full-scan cost in normalised probe units** (calibrated single-table
+probes — :meth:`repro.classifier.backend.MegaflowBackend.expected_scan_cost`).
+The ``*_probes`` methods are the primary, backend-agnostic entry points;
+the historical mask-count methods remain as the exact TSS special case
+(probes ≡ masks, unit cost 1.0), which is what keeps every Table 1 /
+Fig 8-9 preset byte-identical to the pre-probe-plane model.
 """
 
 from __future__ import annotations
@@ -127,46 +135,58 @@ class CostModel:
         return self.profile.unit_bytes * 8.0
 
     # -- per-packet costs ----------------------------------------------------------
-    def victim_cost_units(self, masks: int) -> float:
+    def victim_cost_units_probes(self, scan_cost: float) -> float:
         """Average per-unit cost of an *established* victim flow.
 
+        ``scan_cost`` is the victim's cache's expected full-scan cost in
+        normalised probe units (the backend's ``expected_scan_cost()``).
         The calibrated relative-cost curve already embeds the victim's
-        average hit position in the mask scan (≈ masks/2, which is why the
+        average hit position in the scan (≈ half way, which is why the
         paper sees flow completion time grow "half as high" as the mask
         count) and the microflow-thrash step.
         """
-        return self.params.relative_cost(masks)
+        return self.params.relative_cost(scan_cost)
 
-    def attack_cost_units(self, masks: int, upcall: bool) -> float:
-        """Per-packet cost of an attack packet.
+    def victim_cost_units(self, masks: int) -> float:
+        """Mask-count entry point: the TSS special case (probes ≡ masks)."""
+        return self.victim_cost_units_probes(masks)
+
+    def attack_cost_units_probes(self, scan_cost: float, upcall: bool) -> float:
+        """Per-packet cost of an attack packet at full-scan cost ``scan_cost``.
 
         Attack packets either hit their adversarial megaflow (full-scan-like
-        cost — their masks sit all along the list) or miss and additionally
+        cost — their masks sit all along the scan) or miss and additionally
         pay the slow-path upcall.
         """
-        cost = self.attack_cost_scale * self.params.relative_cost(masks)
+        cost = self.attack_cost_scale * self.params.relative_cost(scan_cost)
         if upcall:
             cost += self.upcall_units
         return cost
 
-    def attack_units_batch(self, mask_counts: Sequence[int], upcall_count: int) -> float:
+    def attack_cost_units(self, masks: int, upcall: bool) -> float:
+        """Mask-count entry point: the TSS special case (probes ≡ masks)."""
+        return self.attack_cost_units_probes(masks, upcall)
+
+    def attack_units_batch(self, probe_costs: Sequence[float], upcall_count: int) -> float:
         """Total attack cost of one batch, charged in one call.
 
-        ``mask_counts`` carries the mask count each packet saw (they grow
-        mid-batch as upcalls install masks); within a batch only a handful
-        of distinct counts occur, so the calibrated curve is evaluated once
-        per distinct count instead of once per packet.
+        ``probe_costs`` carries the full-scan probe cost each packet's
+        shard reported before the packet ran (costs grow mid-batch as
+        upcalls install masks); within a batch only a handful of distinct
+        values occur, so the calibrated curve is evaluated once per
+        distinct value instead of once per packet.  Raw TSS mask counts
+        are valid input — the probes ≡ masks special case.
         """
         if upcall_count < 0:
             raise SwitchError(f"upcall_count must be >= 0, got {upcall_count}")
-        per_count: dict[int, float] = {}
+        per_cost: dict[float, float] = {}
         total = 0.0
-        for masks in mask_counts:
-            masks = max(masks, 1)
-            cost = per_count.get(masks)
+        for scan_cost in probe_costs:
+            scan_cost = max(scan_cost, 1)
+            cost = per_cost.get(scan_cost)
             if cost is None:
-                cost = self.attack_cost_scale * self.params.relative_cost(masks)
-                per_count[masks] = cost
+                cost = self.attack_cost_scale * self.params.relative_cost(scan_cost)
+                per_cost[scan_cost] = cost
             total += cost
         return total + upcall_count * self.upcall_units
 
@@ -177,8 +197,8 @@ class CostModel:
         return n_entries * self.revalidate_units_per_entry / period
 
     # -- throughput ---------------------------------------------------------------
-    def victim_gbps(self, masks: int, attack_load_units: float = 0.0) -> float:
-        """Victim throughput at ``masks`` MFC masks under attack load.
+    def victim_gbps_probes(self, scan_cost: float, attack_load_units: float = 0.0) -> float:
+        """Victim throughput at full-scan cost ``scan_cost`` under attack load.
 
         ``attack_load_units`` is the unit rate (units/s) the attack traffic
         burns; whatever budget remains is available to the victim at its
@@ -187,8 +207,12 @@ class CostModel:
         if attack_load_units < 0:
             raise SwitchError("attack_load_units must be >= 0")
         available = max(0.0, self.budget_units_per_sec - attack_load_units)
-        units_per_sec = available / self.victim_cost_units(masks)
+        units_per_sec = available / self.victim_cost_units_probes(scan_cost)
         return min(self.link_gbps, units_per_sec * self.unit_bits / 1e9)
+
+    def victim_gbps(self, masks: int, attack_load_units: float = 0.0) -> float:
+        """Mask-count entry point: the TSS special case (probes ≡ masks)."""
+        return self.victim_gbps_probes(masks, attack_load_units)
 
     def victim_fraction(self, masks: int) -> float:
         """Fraction of baseline throughput (no attack CPU contention)."""

@@ -68,7 +68,9 @@ class PacketVerdict:
     Attributes:
         action: the final decision.
         path: pipeline level that answered.
-        masks_inspected: TSS mask tables probed (0 for microflow hits).
+        masks_inspected: lookup work in the megaflow backend's native
+            probe units — mask tables probed for TSS, chain probes for
+            grouped backends (0 for microflow hits, 1 for mask-cache hits).
         rules_examined: flow-table rules visited (slow path only).
         installed: megaflow entry installed by this packet, if any.
     """
@@ -93,14 +95,22 @@ class BatchVerdicts:
             verdict-for-verdict identical to calling :meth:`Datapath.process`
             sequentially.
         mask_counts: the megaflow mask count *before* each packet was
-            processed.  Per-packet classification cost is a function of the
-            mask count at classification time (Observation 1), which grows
-            mid-batch as upcalls install new masks; cost accounting needs
-            the per-packet value, not the batch-entry snapshot.
+            processed — the tuple space's *size*, still the detection /
+            figure-of-merit view, and the TSS special case of the cost
+            currency.
+        probe_costs: the megaflow backend's expected full-scan cost (in
+            normalised probe units) *before* each packet was processed —
+            what pricing work costs at classification time (Observation 1
+            generalised: costs grow mid-batch as upcalls install masks, so
+            cost accounting needs the per-packet value, not the
+            batch-entry snapshot).  Equals ``max(mask_counts[i], 1)`` for
+            TSS; diverges for backends whose scan cost is sublinear in the
+            mask count.
     """
 
     verdicts: tuple[PacketVerdict, ...]
     mask_counts: tuple[int, ...]
+    probe_costs: tuple[float, ...] = ()
 
     def __len__(self) -> int:
         return len(self.verdicts)
@@ -246,6 +256,16 @@ class Datapath:
         """Current megaflow entry count."""
         return self.megaflows.n_entries
 
+    @property
+    def scan_cost(self) -> float:
+        """Expected full-scan cost of the megaflow cache (probe units).
+
+        The probe-native counterpart of :attr:`n_masks`: what one lookup
+        that misses every fast level costs right now, in calibrated
+        single-table-probe units.  Equals ``max(n_masks, 1)`` for TSS.
+        """
+        return self.megaflows.expected_scan_cost()
+
     # -- packet processing ----------------------------------------------------------
     def _advance_clock(self, now: float | None) -> None:
         if now is not None:
@@ -333,17 +353,23 @@ class Datapath:
         self.stats.batches += 1
         verdicts: list[PacketVerdict] = []
         mask_counts: list[int] = []
+        probe_costs: list[float] = []
         scanner = self.megaflows.batch_scanner(keys, now=self.now)
         for i, key in enumerate(keys):
             self.stats.packets += 1
             mask_counts.append(self.megaflows.n_masks)
+            probe_costs.append(self.megaflows.expected_scan_cost())
             verdict = self._fast_levels(key)
             if verdict is None:
                 verdict = self._scan_levels(key, scanner.result(i))
                 if verdict.installed is not None:
                     scanner.note_inserted(verdict.installed)
             verdicts.append(verdict)
-        return BatchVerdicts(verdicts=tuple(verdicts), mask_counts=tuple(mask_counts))
+        return BatchVerdicts(
+            verdicts=tuple(verdicts),
+            mask_counts=tuple(mask_counts),
+            probe_costs=tuple(probe_costs),
+        )
 
     def process_packet(self, packet: Packet, in_port: int = 0, now: float | None = None) -> PacketVerdict:
         """Classify a concrete :class:`Packet` (wire-format convenience)."""

@@ -6,7 +6,11 @@ simulated datapath in the same spirit, so operators of the simulation can
 eyeball a tuple space explosion the way the paper's authors did:
 
 * :func:`show` — the summary block with the ``masks: hit:… total:…`` line
-  whose ``total`` is the attack's figure of merit;
+  whose ``total`` is the attack's figure of merit, plus a ``probes:`` line
+  per datapath/PMD rendering the backend's probe currency (scans
+  performed, native probes spent, current expected scan cost and the
+  backend's declared unit cost) — how an operator sees that an exploded
+  mask list is, or is not, actually expensive to scan;
 * :func:`dump_flows` — one line per megaflow in OVS's ``field(value/mask)``
   syntax with hit statistics and actions;
 * :func:`mask_histogram` — mask population by wildcarded-bit count, handy
@@ -94,15 +98,18 @@ def dump_flows(datapath: AnyDatapath, max_flows: int | None = None) -> str:
     return "\n".join(lines)
 
 
-def _shard_summary(shard) -> tuple[str, str]:
-    """The ``lookups`` and ``masks`` lines of one (shard) datapath."""
+def _shard_summary(shard) -> tuple[str, str, str]:
+    """The ``lookups``, ``masks`` and ``probes`` lines of one (shard) datapath."""
     stats = shard.stats
     cache = shard.megaflows
     lookups = cache.stats_hits + cache.stats_misses
+    snapshot = cache.probe_cost_snapshot()
     return (
         f"lookups: hit:{cache.stats_hits} missed:{cache.stats_misses} total:{lookups}",
         f"masks: hit:{stats.masks_inspected_total} total:{shard.n_masks} "
         f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
+        f"probes: scans:{snapshot.scans} spent:{snapshot.probes_total} "
+        f"scan cost:{snapshot.scan_cost:.1f} unit:{snapshot.unit_cost:.2f}",
     )
 
 
@@ -128,23 +135,25 @@ def show(datapath: AnyDatapath) -> str:
             f"  masks: hit:{stats.masks_inspected_total} total:{datapath.n_masks} "
             f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
             f"  mask tables: {datapath.n_mask_tables} across {datapath.n_shards} pmds",
+            f"  scan cost: {datapath.scan_cost:.1f} probe units (worst pmd)",
             f"  cache usage: {memory / 1e6:.2f} MB",
         ]
         for shard_id, shard in enumerate(datapath.shards):
-            lookups_line, masks_line = _shard_summary(shard)
+            lookups_line, masks_line, probes_line = _shard_summary(shard)
             lines.append(
                 f"  pmd queue {shard_id}: flows: {shard.n_megaflows}; "
-                f"{lookups_line}; {masks_line}"
+                f"{lookups_line}; {masks_line}; {probes_line}"
             )
         return "\n".join(lines)
 
     shard = datapath.shards[0]
-    lookups_line, masks_line = _shard_summary(shard)
+    lookups_line, masks_line, probes_line = _shard_summary(shard)
     lines = [
         "datapath@repro:",
         f"  {lookups_line}",
         f"  flows: {shard.n_megaflows}",
         f"  {masks_line}",
+        f"  {probes_line}",
         f"  cache usage: {shard.megaflows.memory_bytes() / 1e6:.2f} MB",
     ]
     if shard.microflows is not None:

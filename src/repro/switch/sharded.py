@@ -56,9 +56,10 @@ class ShardBatchVerdicts(BatchVerdicts):
 
     Attributes:
         shard_ids: the shard each packet was dispatched to, aligned with
-            ``verdicts``.  ``mask_counts`` carries the *owning shard's*
-            mask count before each packet — per-core cost accounting needs
-            the core-local value, not an aggregate.
+            ``verdicts``.  ``mask_counts`` and ``probe_costs`` carry the
+            *owning shard's* pre-packet mask count and expected scan cost
+            — per-core cost accounting needs the core-local value, not an
+            aggregate.
     """
 
     shard_ids: tuple[int, ...] = ()
@@ -138,6 +139,17 @@ class ShardedDatapath:
         return sum(shard.n_megaflows for shard in self._shards)
 
     @property
+    def scan_cost(self) -> float:
+        """Worst per-core expected full-scan cost (normalised probe units).
+
+        Scan cost is a per-PMD quantity — each core scans only its own
+        cache — so the host-level figure is the most expensive core's,
+        the one a queue-concentrated detonation inflates.  Per-core values
+        are ``shards[i].scan_cost``.
+        """
+        return max(shard.scan_cost for shard in self._shards)
+
+    @property
     def now(self) -> float:
         """The most advanced shard clock."""
         return max(shard.now for shard in self._shards)
@@ -176,6 +188,7 @@ class ShardedDatapath:
         assignment = tuple(assignment_list)
         verdicts: list[PacketVerdict | None] = [None] * len(keys)
         mask_counts = [0] * len(keys)
+        probe_costs = [1.0] * len(keys)
         for shard_id, indices in buckets.items():
             batch = self._shards[shard_id].process_batch(
                 [keys[i] for i in indices], now=now
@@ -183,9 +196,11 @@ class ShardedDatapath:
             for position, index in enumerate(indices):
                 verdicts[index] = batch.verdicts[position]
                 mask_counts[index] = batch.mask_counts[position]
+                probe_costs[index] = batch.probe_costs[position]
         return ShardBatchVerdicts(
             verdicts=tuple(verdicts),
             mask_counts=tuple(mask_counts),
+            probe_costs=tuple(probe_costs),
             shard_ids=assignment,
         )
 

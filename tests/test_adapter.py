@@ -1,7 +1,5 @@
 """Unit tests for the TSS-cached classifier adapter."""
 
-import pytest
-
 from repro.classifier.adapter import TssCachedClassifier
 from repro.classifier.actions import ALLOW, DENY
 from repro.classifier.rule import FlowRule, Match

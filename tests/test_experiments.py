@@ -210,6 +210,19 @@ class TestBackendSweep:
         assert by_name["tss"][masks] == by_name["tuplechain"][masks] == 513
         assert by_name["tss"][after] > by_name["tuplechain"][after] * 2
         assert by_name["tuplechain"][degradation] < by_name["tss"][degradation] / 10
+        # The netsim time series prices each victim in its backend's probe
+        # units: the grouped victim keeps throughput where TSS's starves.
+        floor = result.columns.index("victim_floor_gbps")
+        cost = result.columns.index("scan_cost_units")
+        assert by_name["tuplechain"][floor] > 4 * by_name["tss"][floor]
+        assert by_name["tss"][cost] == 513.0
+        assert by_name["tuplechain"][cost] < 513.0 / 4
+
+    def test_netsim_phase_optional(self):
+        from repro.experiments import backendsweep
+
+        result = backendsweep.run(benign_packets=100, netsim=False)
+        assert "victim_floor_gbps" not in result.columns
 
 
 @pytest.mark.slow

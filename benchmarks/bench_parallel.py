@@ -1,0 +1,179 @@
+"""Parallel-executor benchmarks: verdict equivalence and wall-clock scaling.
+
+Two guards, persisted to ``results/BENCH_parallel.json``:
+
+* **Equivalence** — on the detonated spread replay (the §6.2 random trace
+  against a SipSpDp cache exploded past 8,000 masks, dispatched with the
+  even-spread :func:`~repro.switch.rss.uniform_key_hash`), the ``thread``
+  and ``process`` executors are verdict-for-verdict identical to
+  ``serial``: same actions/paths/probe units per packet, same
+  ``mask_counts``/``probe_costs``/``shard_ids``, same installed
+  entry/mask unions, same per-shard statistics and probe accounting.
+  This always runs — it is the parallel ≡ serial invariant.
+* **Speedup** — the ``process`` executor with 4 workers replays the trace
+  at >= 2x the serial executor's wall-clock packets/sec.  Four worker
+  processes each scan ~1/4 of the staircase concurrently; serial scans
+  the same shards back to back.  The guard needs one real core per
+  worker: with fewer visible CPUs than workers the 2x floor measures the
+  host, not the executor (2 cores cap the ceiling at 2x minus IPC; 1
+  core puts it below 1x), so the measurement still runs and is
+  published — with the host's CPU count — but the assertion is skipped.
+
+The ``thread`` executor is measured and published but not floor-guarded:
+only the numpy scan kernels release the GIL, so its win is workload- and
+interpreter-dependent.
+
+Workload builders and replay timers live in :mod:`benchmarks.common`.
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from common import (
+    BATCH_SIZE,
+    clear_memos,
+    publish,
+    replay_batch_pps,
+    section62_trace,
+    warmed_sharded,
+)
+from repro.core.usecases import SIPSPDP
+from repro.switch.rss import uniform_key_hash
+
+N_SHARDS = 4
+N_WORKERS = 4
+SPEEDUP_FLOOR = 2.0
+
+try:
+    EFFECTIVE_CPUS = len(os.sched_getaffinity(0))
+except AttributeError:  # pragma: no cover - non-Linux
+    EFFECTIVE_CPUS = os.cpu_count() or 1
+
+_PAYLOAD: dict = {}
+_CACHE: dict = {}
+
+
+def _warmed(executor: str):
+    """One detonated 4-shard datapath per executor, shared by both tests."""
+    if executor not in _CACHE:
+        _CACHE[executor] = warmed_sharded(
+            N_SHARDS,
+            _keys(),
+            executor=executor,
+            executor_workers=N_WORKERS,
+            hash_fn=uniform_key_hash,
+        )
+    return _CACHE[executor]
+
+
+def _keys():
+    if "keys" not in _CACHE:
+        _CACHE["keys"] = section62_trace()
+    return _CACHE["keys"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    for value in _CACHE.values():
+        close = getattr(value, "close", None)
+        if close is not None:
+            close()
+
+
+def test_parallel_verdict_equivalence():
+    """thread/process replay the detonated spread trace verdict-identically."""
+    keys = _keys()
+    serial = _warmed("serial")
+    assert serial.n_masks >= 1000, f"workload too small: {serial.n_masks} masks"
+    # The uniform dispatch really spreads the staircase: no shard may hold
+    # more than ~1.5x its fair share, or the scaling measurement below is
+    # bottlenecked by one worker instead of the executor.
+    fair = serial.n_mask_tables / N_SHARDS
+    per_shard = [shard.n_masks for shard in serial.shards]
+    assert max(per_shard) <= 1.5 * fair, per_shard
+
+    clear_memos(serial)
+    expected = serial.process_batch(keys)
+    reference_entries = {(e.mask.values, e.key) for e in serial.entries()}
+
+    for executor in ("thread", "process"):
+        datapath = _warmed(executor)
+        # Identical detonation state first (installed unions, per shard).
+        assert [s.n_masks for s in datapath.shards] == per_shard, executor
+        assert {(e.mask.values, e.key) for e in datapath.entries()} == reference_entries
+        clear_memos(datapath)
+        got = datapath.process_batch(keys)
+        assert got.shard_ids == expected.shard_ids, executor
+        assert got.mask_counts == expected.mask_counts, executor
+        assert got.probe_costs == expected.probe_costs, executor
+        for i, (a, b) in enumerate(zip(expected.verdicts, got.verdicts)):
+            assert a.action == b.action, (executor, i)
+            assert a.path == b.path, (executor, i)
+            assert a.masks_inspected == b.masks_inspected, (executor, i)
+            assert a.rules_examined == b.rules_examined, (executor, i)
+        # Statistics and probe accounting agree shard by shard.
+        for shard_id, (ref_shard, got_shard) in enumerate(
+            zip(serial.shards, datapath.shards)
+        ):
+            assert got_shard.stats == ref_shard.stats, (executor, shard_id)
+            assert got_shard.megaflows.stats_scans == ref_shard.megaflows.stats_scans
+            assert (
+                got_shard.megaflows.stats_scan_probes
+                == ref_shard.megaflows.stats_scan_probes
+            )
+
+    _PAYLOAD.update(
+        {
+            "workload": "section62-random-replay",
+            "use_case": SIPSPDP.name,
+            "dispatch": "uniform_key_hash",
+            "n_shards": N_SHARDS,
+            "n_workers": N_WORKERS,
+            "batch_size": BATCH_SIZE,
+            "cpus": EFFECTIVE_CPUS,
+            "masks_per_shard": per_shard,
+            "equivalent_executors": ["serial", "thread", "process"],
+        }
+    )
+    publish("parallel", _PAYLOAD)
+
+
+def test_process_executor_speedup():
+    """4 process workers replay the spread detonation >= 2x serial wall-clock."""
+    keys = _keys()
+    serial_pps = replay_batch_pps(_warmed("serial"), keys)
+    thread_pps = replay_batch_pps(_warmed("thread"), keys)
+    process_pps = replay_batch_pps(_warmed("process"), keys)
+
+    _PAYLOAD.update(
+        {
+            "serial_pps": round(serial_pps, 1),
+            "thread_pps": round(thread_pps, 1),
+            "process_pps": round(process_pps, 1),
+            "speedup_thread_vs_serial": round(thread_pps / serial_pps, 2),
+            "speedup_process_vs_serial": round(process_pps / serial_pps, 2),
+        }
+    )
+    publish("parallel", _PAYLOAD)
+
+    if EFFECTIVE_CPUS < N_WORKERS:
+        # A 4-worker 2x win needs 4 real cores: on 2 cores the theoretical
+        # ceiling is 2x minus IPC overhead, and on 1 it is below 1x — the
+        # measurement is still published (with the cpu count) but the
+        # floor would only measure the host, not the executor.
+        pytest.skip(
+            f"only {EFFECTIVE_CPUS} CPU(s) visible, guard needs {N_WORKERS} "
+            "for the 2x floor; equivalence was still verified and the "
+            "measurement published"
+        )
+    assert process_pps >= SPEEDUP_FLOOR * serial_pps, (
+        f"4-worker process replay only {process_pps / serial_pps:.2f}x serial "
+        f"({process_pps:.0f} vs {serial_pps:.0f} pps)"
+    )

@@ -28,8 +28,8 @@ Run with::
 from __future__ import annotations
 
 import pytest
-from common import SMOKE, publish, section62_trace, warmed
 
+from common import SMOKE, publish, section62_trace, warmed
 from repro.experiments.backendsweep import run_netsim_cell
 from repro.netsim.cloud import SYNTHETIC_ENV
 

@@ -20,7 +20,7 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.general import GeneralTraceGenerator
 from repro.core.tracegen import ColocatedTraceGenerator
@@ -28,6 +28,7 @@ from repro.core.usecases import SIPSPDP
 from repro.packet.fields import FlowKey
 from repro.packet.headers import PROTO_TCP
 from repro.switch.datapath import Datapath, DatapathConfig
+from repro.switch.rss import five_tuple_hash
 from repro.switch.sharded import AnyDatapath, ShardedDatapath
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -82,13 +83,32 @@ def warmed(keys: Sequence[FlowKey], backend: str = "tss") -> Datapath:
 
 
 def warmed_sharded(
-    n_shards: int, keys: Sequence[FlowKey], backend: str = "tss"
+    n_shards: int,
+    keys: Sequence[FlowKey],
+    backend: str = "tss",
+    executor: str = "serial",
+    executor_workers: int = 0,
+    hash_fn: Callable[[FlowKey], int] = five_tuple_hash,
 ) -> ShardedDatapath:
-    """A sharded datapath with the detonation spread by the natural RSS."""
+    """A sharded datapath with the detonation spread by the chosen RSS.
+
+    ``executor`` picks the shard-execution strategy (pooled executors keep
+    worker threads/processes alive until ``datapath.close()``);
+    ``hash_fn`` picks the dispatch hash — the natural ``five_tuple_hash``
+    placement of the SipSpDp staircase is lopsided, so scaling benches
+    pass :func:`repro.switch.rss.uniform_key_hash` for the even-spread
+    regime.
+    """
     datapath = ShardedDatapath(
         SIPSPDP.build_table(),
-        DatapathConfig(microflow_capacity=0, megaflow_backend=backend),
+        DatapathConfig(
+            microflow_capacity=0,
+            megaflow_backend=backend,
+            executor=executor,
+            executor_workers=executor_workers,
+        ),
         n_shards=n_shards,
+        hash_fn=hash_fn,
     )
     detonate(datapath, keys)
     return datapath

@@ -284,6 +284,10 @@ class MegaflowBackend(Protocol):
 
     def find_entry(self, entry: MegaflowEntry) -> bool: ...
 
+    def get_entry(
+        self, mask: FlowMask, key: tuple[int, ...]
+    ) -> MegaflowEntry | None: ...
+
     def verify_disjoint(self) -> None: ...
 
 
@@ -653,6 +657,19 @@ class MegaflowStore:
         if table is None:
             return False
         return table.get(self._reduce(entry.mask, entry.key)) is entry
+
+    def get_entry(self, mask: FlowMask, key: tuple[int, ...]) -> MegaflowEntry | None:
+        """The installed entry under ``(mask, masked key)``, or None (O(1)).
+
+        Value-addressed and statistics-free: the resolver the parallel
+        execution engine uses to map an entry *copy* that crossed a process
+        boundary back onto this store's own object before management
+        operations (kill, reinject, remove) run on it.
+        """
+        table = self._tables.get(mask)
+        if table is None:
+            return None
+        return table.get(self._reduce(mask, key))
 
     def probe_mask(self, mask: FlowMask, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
         """Probe a single mask's hash table (kernel mask-cache fast path).

@@ -96,6 +96,41 @@ class FlowTable:
         self._ordered.sort(key=lambda item: (item[0], item[1]))
         self._notify()
 
+    def apply_delta(
+        self, add: list[FlowRule] | tuple[FlowRule, ...] = (), remove: list[FlowRule] | tuple[FlowRule, ...] = ()
+    ) -> None:
+        """Apply a batch of removals and insertions as **one** change.
+
+        This is the replica-synchronisation primitive of the parallel
+        execution engine: a worker process holding a flow-table replica
+        applies each delta message from the control plane with a single
+        change notification, so its shards revalidate (flush) exactly once
+        per original table change — the same cadence a serial shard sees.
+
+        ``remove`` is matched by object identity (callers pass the table's
+        own rule objects — the worker resolves delta rule-ids to its local
+        objects first), so value-equal duplicate rules (e.g. two identical
+        default-deny entries) can never desynchronise ``_rules`` from the
+        lookup order.
+        """
+        for rule in remove:
+            for index, existing in enumerate(self._rules):
+                if existing is rule:
+                    del self._rules[index]
+                    break
+            else:
+                raise RuleError(f"rule not in table: {rule!r}")
+            self._ordered = [item for item in self._ordered if item[2] is not rule]
+        for rule in add:
+            if not isinstance(rule, FlowRule):
+                raise RuleError(f"expected FlowRule, got {type(rule).__name__}")
+            self._rules.append(rule)
+            self._ordered.append((-rule.priority, self._sequence, rule))
+            self._sequence += 1
+        if add:
+            self._ordered.sort(key=lambda item: (item[0], item[1]))
+        self._notify()
+
     def _notify(self) -> None:
         self.version += 1
         for callback in self._subscribers:

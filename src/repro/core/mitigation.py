@@ -141,7 +141,18 @@ class MFCGuard:
         )
 
     def run(self, now: float) -> GuardReport:
-        """One guard pass: check masks (and probe cost), scan rules, delete, watch CPU."""
+        """One guard pass: check masks (and probe cost), scan rules, delete, watch CPU.
+
+        Runs under the datapath's maintenance lock: a parallel shard
+        executor serialises the pass against in-flight batches, so the
+        guard never reads a shard's cache mid-batch (entry copies from
+        worker-owned shards are killed by value, like every management
+        delete).
+        """
+        with self.datapath.maintenance():
+            return self._run_locked(now)
+
+    def _run_locked(self, now: float) -> GuardReport:
         self.runs += 1
         masks_before = self.datapath.n_masks
         probe_cost_before = self.probe_cost()

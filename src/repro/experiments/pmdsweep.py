@@ -10,14 +10,20 @@ its 5-tuples until RSS lands every crafting packet on one chosen queue —
 detonates the full explosion on a single core and collapses exactly the
 victims RSS co-scheduled there.
 
-This scenario sweeps both axes on the synthetic SUT: one victim pinned per
-queue (round-robin), the SipDp co-located trace replayed during an attack
-window, and each row reporting the per-victim throughput floor, the
-aggregate floor, per-core mask counts and peak core load.  Expected shape:
+This scenario sweeps three axes on the synthetic SUT: one victim pinned
+per queue (round-robin), the SipDp co-located trace replayed during an
+attack window, and each row reporting the per-victim throughput floor,
+the aggregate floor, per-core mask counts and peak core load.  Rows may
+additionally pick the shard *executor* (see
+:mod:`repro.switch.executor`): the simulated impact numbers are
+executor-invariant by the parallel ≡ serial invariant — the executor
+column demonstrates exactly that, while changing which strategy actually
+burns the wall clock.  Expected shape:
 
 * spread rows: the aggregate floor *rises* with ``n_pmd`` (dilution);
 * the concentrated row: only the victim on the targeted queue collapses,
-  the others hold ~baseline — per-core isolation.
+  the others hold ~baseline — per-core isolation;
+* thread/process rows: identical floors/masks to their serial twin.
 """
 
 from __future__ import annotations
@@ -33,17 +39,22 @@ from repro.netsim.flows import ActiveWindow, AttackSource, queue_aware_trace
 
 __all__ = ["run", "run_config"]
 
-DEFAULT_CONFIGS: tuple[tuple[int, str | int], ...] = (
+# (n_pmd, trace plan[, executor]) — plan is "spread" or a queue index;
+# executor defaults to "serial".
+DEFAULT_CONFIGS: tuple[tuple, ...] = (
     (1, "spread"),
     (2, "spread"),
     (4, "spread"),
     (4, 0),  # concentrated on queue 0 (victim1's core)
+    (4, "spread", "thread"),  # same cell, parallel executors: floors must
+    (4, "spread", "process"),  # match the (4, spread, serial) row exactly
 )
 
 
 def run_config(
     n_pmd: int,
     plan: str | int,
+    executor: str = "serial",
     duration: float = 40.0,
     attack_start: float = 10.0,
     attack_stop: float = 30.0,
@@ -53,9 +64,41 @@ def run_config(
 ) -> dict:
     """One sweep cell: build the testbed, run it, summarise the window."""
     environment = replace(
-        SYNTHETIC_ENV, name=f"Synthetic/{n_pmd}pmd", n_pmd=n_pmd
+        SYNTHETIC_ENV,
+        name=f"Synthetic/{n_pmd}pmd/{executor}",
+        n_pmd=n_pmd,
+        executor=executor,
     )
     testbed = build_testbed(environment, dt=dt)
+    try:
+        return _run_cell(
+            testbed,
+            n_pmd,
+            plan,
+            executor,
+            duration,
+            attack_start,
+            attack_stop,
+            attack_pps,
+            n_victims,
+            dt,
+        )
+    finally:
+        testbed.server.close()  # stop any executor worker pool
+
+
+def _run_cell(
+    testbed,
+    n_pmd: int,
+    plan: str | int,
+    executor: str,
+    duration: float,
+    attack_start: float,
+    attack_stop: float,
+    attack_pps: float,
+    n_victims: int,
+    dt: float,
+) -> dict:
     victims = [
         testbed.add_victim_flow(
             f"victim{i + 1}",
@@ -109,6 +152,7 @@ def run_config(
     return {
         "n_pmd": n_pmd,
         "plan": plan,
+        "executor": executor,
         "baselines": baselines,
         "floors": floors,
         "peak_core_load": peak_core_load,
@@ -123,7 +167,7 @@ def run_config(
 
 
 def run(
-    configs: Sequence[tuple[int, str | int]] = DEFAULT_CONFIGS,
+    configs: Sequence[tuple] = DEFAULT_CONFIGS,
     duration: float = 40.0,
     attack_start: float = 10.0,
     attack_stop: float = 30.0,
@@ -131,24 +175,28 @@ def run(
     n_victims: int = 4,
     dt: float = 0.1,
 ) -> ExperimentResult:
-    """Sweep attack impact vs. PMD count and vs. queue placement.
+    """Sweep attack impact vs. PMD count, queue placement and executor.
 
-    Each row is one (``n_pmd``, trace plan) cell; ``trace`` is ``spread``
-    (round-robin across queues) or ``queue<k>`` (concentrated).  Victim
-    ``i`` is RSS-pinned to queue ``i % n_pmd``.
+    Each row is one ``(n_pmd, trace plan[, executor])`` cell; ``trace`` is
+    ``spread`` (round-robin across queues) or ``queue<k>`` (concentrated),
+    ``executor`` one of the shard-execution strategies (default
+    ``serial``).  Victim ``i`` is RSS-pinned to queue ``i % n_pmd``.
     """
     result = ExperimentResult(
         experiment_id="pmdsweep",
-        title="TSE impact vs PMD core count and attack queue placement",
+        title="TSE impact vs PMD core count, queue placement and executor",
         paper_reference="multi-queue feasibility follow-up (arXiv:2011.09107)",
-        columns=["n_pmd", "trace"]
+        columns=["n_pmd", "trace", "executor"]
         + [f"victim{i + 1}_floor_gbps" for i in range(n_victims)]
         + ["sum_floor_gbps", "sum_baseline_gbps", "masks_max_shard", "peak_core_load"],
     )
-    for n_pmd, plan in configs:
+    for config in configs:
+        n_pmd, plan = config[0], config[1]
+        executor = config[2] if len(config) > 2 else "serial"
         cell = run_config(
             n_pmd,
             plan,
+            executor=executor,
             duration=duration,
             attack_start=attack_start,
             attack_stop=attack_stop,
@@ -160,6 +208,7 @@ def run(
         result.add_row(
             n_pmd,
             label,
+            executor,
             *[round(f, 4) for f in cell["floors"]],
             round(sum(cell["floors"]), 4),
             round(sum(cell["baselines"]), 4),
@@ -167,7 +216,8 @@ def run(
             round(cell["peak_core_load"], 3),
         )
         result.notes.append(
-            f"n_pmd={n_pmd} {label}: masks/shard {cell['masks_per_shard']}, "
+            f"n_pmd={n_pmd} {label} {executor}: masks/shard "
+            f"{cell['masks_per_shard']}, "
             f"victim queues {cell['victim_queues']}, "
             f"retargeted {cell['retarget'].retargeted} keys "
             f"({cell['retarget'].stuck} stuck)"
@@ -176,7 +226,7 @@ def run(
     spread_rows = [
         (row, config)
         for row, config in zip(result.rows, configs)
-        if config[1] == "spread"
+        if config[1] == "spread" and (len(config) < 3 or config[2] == "serial")
     ]
     if len(spread_rows) >= 2:
         sum_floor = list(result.columns).index("sum_floor_gbps")

@@ -85,6 +85,15 @@ class EnvironmentProfile:
             cheaper scans show up directly in the netsim Gbps/FCT time
             series — and the ``"tss"`` presets price exactly as the
             paper's mask-count model (probes ≡ masks).
+        executor: shard-execution strategy for every sharded datapath this
+            environment builds (see :mod:`repro.switch.executor`),
+            overriding the ``datapath`` config's choice when set; ``None``
+            (the default) defers to ``datapath.executor``.  The strategies
+            are verdict-equivalent by invariant, so this knob only decides
+            *wall-clock* parallelism: the Table 1 presets resolve to
+            ``"serial"`` (single datapath thread, and byte-identical
+            outputs), while ``"thread"``/``"process"`` make a multi-PMD
+            environment actually execute its shards concurrently.
         description: Table 1 provenance notes.
     """
 
@@ -95,16 +104,20 @@ class EnvironmentProfile:
     datapath: DatapathConfig = dc_field(default_factory=DatapathConfig)
     n_pmd: int = 1
     megaflow_backend: str | None = None
+    executor: str | None = None
     description: str = ""
 
     def datapath_config(self) -> DatapathConfig:
-        """The datapath knobs with this profile's backend choice applied."""
+        """The datapath knobs with this profile's backend/executor applied."""
+        config = self.datapath
         if (
-            self.megaflow_backend is None
-            or self.datapath.megaflow_backend == self.megaflow_backend
+            self.megaflow_backend is not None
+            and config.megaflow_backend != self.megaflow_backend
         ):
-            return self.datapath
-        return dc_replace(self.datapath, megaflow_backend=self.megaflow_backend)
+            config = dc_replace(config, megaflow_backend=self.megaflow_backend)
+        if self.executor is not None and config.executor != self.executor:
+            config = dc_replace(config, executor=self.executor)
+        return config
 
 
 # n_pmd=1: the paper's SUT pinned OVS to a single datapath thread — the
@@ -208,6 +221,10 @@ class Server:
         )
         self.vms: list[VirtualMachine] = []
         self._priority = itertools.count(1000, -1)
+
+    def close(self) -> None:
+        """Release the datapath's execution resources (worker pools)."""
+        self.datapath.close()
 
     def place(self, vm: VirtualMachine) -> None:
         vm.server = self

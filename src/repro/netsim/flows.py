@@ -50,10 +50,13 @@ def queue_aware_trace(
     dispatcher = getattr(datapath, "rss", None)
     if dispatcher is None or datapath.n_shards == 1:
         return list(keys), RetargetReport(already_on_target=len(keys))
+    queue_for: Callable[[int, FlowKey], int]
     if plan == "spread":
-        queue_for: Callable[[int, FlowKey], int] = lambda i, _key: i % dispatcher.n_queues
+        def queue_for(i, _key):
+            return i % dispatcher.n_queues
     elif isinstance(plan, int):
-        queue_for = lambda _i, _key: plan
+        def queue_for(_i, _key):
+            return plan
     elif callable(plan):
         queue_for = plan
     else:

@@ -243,7 +243,12 @@ class HypervisorHost:
             # as this tick's suppressed-installs; feed the measured rate.
             self.guard.note_attack_rate(self._slow_path_packets / dt)
 
-        shards = self.datapath.shards
+        # One consolidated per-core snapshot (a single executor round trip
+        # when the shards live in worker processes) prices the whole tick:
+        # nothing below mutates the datapath, so reading n_masks /
+        # n_megaflows / scan_cost together is exactly equivalent to the
+        # attribute-by-attribute reads it replaces.
+        reports = self.datapath.core_report()
         budget = self.cost_model.budget_units_per_sec  # per PMD core
 
         # Work burned by non-victim activity, per core (units/second).
@@ -251,11 +256,11 @@ class HypervisorHost:
         consumed = [
             self._attack_units[i] / dt
             + self.cost_model.revalidation_units_per_sec(
-                shard.n_megaflows, self.revalidator.period
+                report.n_megaflows, self.revalidator.period
             )
-            for i, shard in enumerate(shards)
+            for i, report in enumerate(reports)
         ]
-        total_budget = budget * len(shards)
+        total_budget = budget * len(reports)
         self.cpu_load_fraction = (
             min(1.0, sum(consumed) / total_budget) if total_budget else 1.0
         )
@@ -269,7 +274,7 @@ class HypervisorHost:
         # is per mask, so calm/attacked is judged on masks, not probes).
         active = [state for state in self.victims.values() if state.active]
         for state in active:
-            masks = max(max(shards[s].n_masks for s in state.home_shards), 1)
+            masks = max(max(reports[s].n_masks for s in state.home_shards), 1)
             self._update_protection(state, now, masks)
 
         # Equal split of each core's remaining budget across the active
@@ -278,7 +283,7 @@ class HypervisorHost:
         # Each share is priced at the *owning core's* expected scan cost in
         # the backend's normalised probe units (≡ mask count for TSS).
         if active:
-            victims_on_core = [0] * len(shards)
+            victims_on_core = [0] * len(reports)
             for state in active:
                 for s in state.home_shards:
                     victims_on_core[s] += 1
@@ -286,9 +291,7 @@ class HypervisorHost:
                 units_per_sec = 0.0
                 for s in state.home_shards:
                     share = available[s] / victims_on_core[s]
-                    cost = self._victim_unit_cost(
-                        state, shards[s].megaflows.expected_scan_cost()
-                    )
+                    cost = self._victim_unit_cost(state, reports[s].scan_cost)
                     units_per_sec += share / cost
                 gbps = units_per_sec * self.cost_model.unit_bits / 1e9
                 state.assigned_gbps = min(self.cost_model.link_gbps / len(active), gbps)

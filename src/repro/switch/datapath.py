@@ -25,8 +25,8 @@ throughput.  It also owns the behavioural quirks the paper depends on:
 from __future__ import annotations
 
 import enum
+from contextlib import nullcontext
 from dataclasses import dataclass
-
 from typing import Iterable, Iterator, Sequence
 
 from repro.classifier.actions import Action
@@ -47,6 +47,7 @@ __all__ = [
     "PathTaken",
     "PacketVerdict",
     "BatchVerdicts",
+    "CoreReport",
     "DatapathConfig",
     "Datapath",
 ]
@@ -128,6 +129,28 @@ class BatchVerdicts:
 
 
 @dataclass(frozen=True)
+class CoreReport:
+    """One PMD core's cost-relevant cache sizes, snapshotted together.
+
+    The per-tick quantities the hypervisor prices work with — taking them
+    as one record (and, on a sharded datapath, one executor round trip)
+    instead of three attribute reads keeps per-core accounting cheap when
+    the shards live in worker processes.
+
+    Attributes:
+        n_masks: the shard's installed distinct-mask count (detection
+            figure of merit; drives the mask-memo protection quirk).
+        n_megaflows: the shard's installed entry count (revalidation cost).
+        scan_cost: the shard's expected full-scan cost in normalised probe
+            units (what victim/attack work is priced at).
+    """
+
+    n_masks: int
+    n_megaflows: int
+    scan_cost: float
+
+
+@dataclass(frozen=True)
 class DatapathConfig:
     """Tunable behaviour of the simulated datapath.
 
@@ -147,6 +170,13 @@ class DatapathConfig:
             ``"tss"`` is the paper's Tuple Space Search; ``"tuplechain"``
             the grouped/chained §7-style defense backend.  Applied per
             shard on a sharded datapath.
+        executor: shard-execution strategy for a sharded datapath (see
+            :mod:`repro.switch.executor`): ``"serial"`` (the reference),
+            ``"thread"`` (GIL-releasing numpy kernels overlap), or
+            ``"process"`` (worker processes own the shards — true
+            multi-core wall clock).  Ignored by a plain datapath.
+        executor_workers: worker cap for pooled executors (0 → one worker
+            per shard).
     """
 
     microflow_capacity: int = 256
@@ -157,6 +187,8 @@ class DatapathConfig:
     idle_timeout: float = 10.0
     check_invariants: bool = False
     megaflow_backend: str = "tss"
+    executor: str = "serial"
+    executor_workers: int = 0
 
 
 @dataclass
@@ -244,6 +276,17 @@ class Datapath:
     def shard_of(self, key: FlowKey) -> int:
         """RSS queue of ``key`` (always 0 without RSS)."""
         return 0
+
+    def core_report(self) -> list["CoreReport"]:
+        """Per-core cost snapshot (one entry for the single core)."""
+        return [CoreReport(self.n_masks, self.n_megaflows, self.scan_cost)]
+
+    def maintenance(self):
+        """Context for management sweeps; trivial without an executor."""
+        return nullcontext()
+
+    def close(self) -> None:
+        """Release execution resources (nothing to release unsharded)."""
 
     # -- cache sizes --------------------------------------------------------------
     @property

@@ -16,9 +16,12 @@ eyeball a tuple space explosion the way the paper's authors did:
 * :func:`mask_histogram` — mask population by wildcarded-bit count, handy
   for spotting the prefix staircase a TSE attack carves.
 
-All three accept a sharded multi-PMD datapath too: ``show`` appends one
-``pmd`` line per shard (mask count, megaflow count, hit statistics — the
-operator-triage view that reveals a queue-concentrated explosion),
+All three accept a sharded multi-PMD datapath too: ``show`` reports the
+execution strategy (``pmd executor: serial``/``thread[...]``/
+``process[...]`` — worker-owned shards render through the same proxies the
+management plane drives) and appends one ``pmd`` line per shard (mask
+count, megaflow count, hit statistics — the operator-triage view that
+reveals a queue-concentrated explosion),
 ``dump_flows`` prefixes each shard's flows with its queue header, and
 ``mask_histogram`` aggregates the staircase across shards.  Single-shard
 output is unchanged.
@@ -135,6 +138,7 @@ def show(datapath: AnyDatapath) -> str:
             f"  masks: hit:{stats.masks_inspected_total} total:{datapath.n_masks} "
             f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
             f"  mask tables: {datapath.n_mask_tables} across {datapath.n_shards} pmds",
+            f"  pmd executor: {datapath.executor_name}",
             f"  scan cost: {datapath.scan_cost:.1f} probe units (worst pmd)",
             f"  cache usage: {memory / 1e6:.2f} MB",
         ]

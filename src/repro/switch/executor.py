@@ -1,0 +1,852 @@
+"""The parallel PMD execution engine: pluggable shard-executor strategies.
+
+PR 2 modeled N PMD cores as N independent :class:`Datapath` shards, but
+every shard still executed in one Python loop — the sharded datapath was a
+*model* of multi-core, not an implementation of it.  This module is the
+execution layer that actually fans the per-shard work out:
+
+* ``serial`` — :class:`SerialShardExecutor`, the PR 2 behaviour: shards run
+  one after another in the caller's thread.  The reference semantics every
+  other strategy must reproduce verdict for verdict.
+* ``thread`` — :class:`ThreadShardExecutor`, a persistent thread pool.  The
+  per-shard numpy scan kernels release the GIL, so the (keys × masks)
+  matrix passes of different shards genuinely overlap; pure-Python stages
+  interleave under the GIL.  A per-shard lock serialises batch execution
+  against management sweeps (revalidator, MFCGuard) so a sweep never reads
+  a shard mid-batch.
+* ``process`` — :class:`ProcessShardExecutor`, a persistent worker-process
+  pool.  **The shards live in the workers**: each worker process owns a
+  subset of the shard datapaths (round-robin by shard id) plus a private
+  replica of the flow table, and the parent holds only lightweight
+  :class:`ShardProxy` handles that speak a small message protocol over
+  pipes.  ``process_batch`` scatters RSS-partitioned sub-batches to the
+  owning workers and gathers their :class:`BatchVerdicts` — true
+  multi-core wall-clock scaling, no GIL.
+
+Why flow-table mutation ships as *deltas* under the ``process`` executor:
+the flow table is the control plane and stays authoritative in the parent,
+but each worker needs a replica for its shards' slow-path upcalls.
+Re-shipping the whole table on every change would serialise O(|rules|)
+per mutation, and sharing the parent's table (or the shards' caches) via
+shared memory would re-introduce exactly the cross-core mutable state the
+per-PMD design exists to avoid — every megaflow cache is private to its
+core, so the only state that may cross the process boundary is messages.
+A delta message (rules added / rule ids removed, applied with a single
+change notification) keeps each worker's memory bounded by its own shards
+plus one rule-list replica, and keeps the revalidation-flush count of a
+worker shard identical to a serial shard's: one parent flow-table change
+notification becomes exactly one replica notification, so ``stats.flushes``
+stays executor-invariant.
+
+Executor invariants (tested in ``tests/test_executor.py``):
+
+* **Parallel ≡ serial, verdict for verdict.**  For every strategy,
+  ``process_batch`` returns the same verdicts, ``mask_counts``,
+  ``probe_costs`` and ``shard_ids`` as the serial executor, installs the
+  same entry/mask unions, and leaves identical per-shard statistics and
+  probe accounting (``stats_scans`` / ``stats_scan_probes``).  This holds
+  because shards share nothing: within a shard the sub-batch preserves
+  arrival order, and across shards the pipelines are independent, so any
+  physical interleaving merges back to the serial transcript.
+* **The PR 1/2/4 invariants hold under every executor** — dicts-as-truth
+  and batch ≡ sequential per shard, probe accounting, hypervisor charge
+  invariance, 1-shard ≡ plain datapath.
+* **Deterministic merge.**  Sub-batch results are reassembled by original
+  arrival index, shard by shard in shard-id order — the result never
+  depends on which worker finished first.
+* **Management operations are value-addressed across the process
+  boundary.**  Entries returned by a worker are copies; operations taking
+  an entry (``kill_entry``, ``find_entry``, ``reinject``) resolve it in
+  the owning worker by ``(mask, masked key)`` — the same value identity
+  the §8 dead-entry quirk already uses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager, nullcontext
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.classifier.backend import MegaflowEntry, ProbeCostSnapshot
+from repro.classifier.flowtable import FlowTable
+from repro.exceptions import SwitchError
+from repro.packet.fields import FlowKey, FlowMask
+from repro.switch.datapath import (
+    BatchVerdicts,
+    CoreReport,
+    Datapath,
+    DatapathConfig,
+    DatapathStats,
+    PacketVerdict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
+
+__all__ = [
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "ShardProxy",
+    "BackendProxy",
+    "register_shard_executor",
+    "shard_executor_names",
+    "make_shard_executor",
+]
+
+
+class ShardExecutor:
+    """Strategy interface: how the per-PMD shards execute and are reached.
+
+    Lifecycle: the sharded datapath constructs one executor, calls
+    :meth:`build` exactly once (which creates the shard handles), drives
+    batches through :meth:`run_batch`, and calls :meth:`close` when done.
+    ``serial``/``thread`` build real in-process :class:`Datapath` shards;
+    ``process`` builds :class:`ShardProxy` handles onto worker-owned
+    shards.  Either way the handles expose the same processing and
+    management surface, so every switch layer (hypervisor, revalidator,
+    MFCGuard, dpctl) drives them identically.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._shards: tuple = ()
+
+    # -- lifecycle -----------------------------------------------------------
+    def build(self, flow_table: FlowTable, config: DatapathConfig, n_shards: int) -> None:
+        """Create the shard handles (called once by ShardedDatapath)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pools/workers; idempotent.  Shard state is discarded."""
+
+    # -- execution -----------------------------------------------------------
+    @property
+    def shards(self) -> tuple:
+        """The shard handles, indexed by shard id."""
+        return self._shards
+
+    def run_batch(
+        self, buckets: dict[int, list[FlowKey]], now: float | None
+    ) -> dict[int, BatchVerdicts]:
+        """Run each shard's sub-batch; return per-shard verdicts.
+
+        ``buckets`` maps shard id -> that shard's keys in arrival order.
+        Implementations may run shards in any physical order/interleaving
+        (shards share nothing), but each sub-batch must be that shard's
+        ``process_batch`` transcript.
+        """
+        raise NotImplementedError
+
+    # -- synchronisation -------------------------------------------------------
+    def lock(self, shard_id: int):
+        """Context manager serialising access to one shard (no-op default)."""
+        return nullcontext()
+
+    @contextmanager
+    def maintenance(self):
+        """Serialise a management sweep against in-flight batches.
+
+        Revalidator and MFCGuard sweeps read and mutate every shard; under
+        the ``thread`` executor this acquires all shard locks (in shard-id
+        order, so sweeps cannot deadlock each other).
+        """
+        yield
+
+    # -- aggregate snapshots -----------------------------------------------------
+    def core_report(self) -> list[CoreReport]:
+        """Per-shard (n_masks, n_megaflows, scan_cost) in one round trip."""
+        return [shard.core_report()[0] for shard in self._shards]
+
+    def describe(self) -> str:
+        """Human-readable strategy label for dpctl/benchmark output."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self._shards)} shards)"
+
+
+class SerialShardExecutor(ShardExecutor):
+    """The reference strategy: every shard runs in the caller's thread."""
+
+    name = "serial"
+
+    def build(self, flow_table: FlowTable, config: DatapathConfig, n_shards: int) -> None:
+        self._shards = tuple(Datapath(flow_table, config) for _ in range(n_shards))
+
+    def run_batch(
+        self, buckets: dict[int, list[FlowKey]], now: float | None
+    ) -> dict[int, BatchVerdicts]:
+        return {
+            shard_id: self._shards[shard_id].process_batch(keys, now=now)
+            for shard_id, keys in sorted(buckets.items())
+        }
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Persistent thread pool over in-process shards.
+
+    The level-3 scan kernels are numpy passes that release the GIL, so
+    different shards' matrix work overlaps on real cores; the remaining
+    pure-Python stages interleave.  Every shard has a lock: batch tasks
+    hold their shard's lock while running, and :meth:`maintenance` (taken
+    by revalidator/MFCGuard sweeps) acquires all of them, so sweeps never
+    observe a shard mid-batch.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__()
+        self._requested_workers = workers
+        self._n_workers = 0
+        self._pool: ThreadPoolExecutor | None = None
+        self._locks: tuple[threading.RLock, ...] = ()
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def build(self, flow_table: FlowTable, config: DatapathConfig, n_shards: int) -> None:
+        self._shards = tuple(Datapath(flow_table, config) for _ in range(n_shards))
+        self._locks = tuple(threading.RLock() for _ in range(n_shards))
+        self._n_workers = max(1, min(self._requested_workers or n_shards, n_shards))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._n_workers, thread_name_prefix="pmd-shard"
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def lock(self, shard_id: int):
+        return self._locks[shard_id]
+
+    @contextmanager
+    def maintenance(self):
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()
+
+    def _run_shard(self, shard_id: int, keys: list[FlowKey], now: float | None) -> BatchVerdicts:
+        with self._locks[shard_id]:
+            return self._shards[shard_id].process_batch(keys, now=now)
+
+    def run_batch(
+        self, buckets: dict[int, list[FlowKey]], now: float | None
+    ) -> dict[int, BatchVerdicts]:
+        if self._pool is None:
+            raise SwitchError("thread executor is closed")
+        futures = {
+            shard_id: self._pool.submit(self._run_shard, shard_id, keys, now)
+            for shard_id, keys in sorted(buckets.items())
+        }
+        # Gather in shard-id order: result assembly (and any raised error)
+        # is deterministic regardless of completion order.
+        return {shard_id: future.result() for shard_id, future in futures.items()}
+
+    def describe(self) -> str:
+        return f"{self.name}[{self._n_workers} workers]"
+
+
+# -- the process worker ------------------------------------------------------------
+#
+# Message protocol (parent -> worker request, worker -> parent ("ok", value)
+# or ("err", traceback-string)):
+#
+#   ("batch", [(shard_id, keys), ...], now)        -> [(shard_id, BatchVerdicts), ...]
+#   ("shard_get", shard_id, attr)                  -> getattr(shard, attr)
+#   ("shard_call", shard_id, method, args, kwargs) -> shard.method(*args, **kwargs)
+#   ("backend_get", shard_id, attr)                -> getattr(shard.megaflows, attr)
+#   ("backend_call", shard_id, method, args, kwargs) -> shard.megaflows.method(...)
+#   ("core_report",)                               -> [(shard_id, CoreReport), ...]
+#   ("flowtable", removed_rule_ids, [(rule_id, FlowRule), ...]) -> None
+#   ("ping",)                                      -> "pong"
+#   ("close",)                                     -> None (worker exits)
+#
+# Entries cross the boundary by value: requests carrying a MegaflowEntry are
+# resolved to the worker's own object by (mask, masked key) before the real
+# method runs, so identity-based bookkeeping (microflow invalidation, the
+# per-mask dicts) stays correct inside the worker.
+
+_SHARD_GET = frozenset({"n_masks", "n_megaflows", "scan_cost", "now", "stats", "microflows"})
+_SHARD_CALL = frozenset(
+    {
+        "process",
+        "process_batch",
+        "kill_entry",
+        "reinject",
+        "flush_caches",
+        "evict_idle",
+        "reset_stats",
+        "core_report",
+    }
+)
+_SHARD_ENTRY_CALLS = frozenset({"kill_entry", "reinject"})
+_BACKEND_GET = frozenset(
+    {
+        "stats_hits",
+        "stats_misses",
+        "stats_scans",
+        "stats_scan_probes",
+        "n_masks",
+        "n_entries",
+        "check_invariants",
+    }
+)
+_BACKEND_CALL = frozenset(
+    {
+        "expected_scan_cost",
+        "structural_scan_cost",
+        "probe_unit_cost",
+        "probe_cost_snapshot",
+        "memory_bytes",
+        "entries",
+        "masks",
+        "entries_for_mask",
+        "find",
+        "find_entry",
+        "get_entry",
+        "clear_memo",
+        "shuffle_masks",
+        "probe_mask",
+        "evict_idle",
+        "remove",
+        "verify_disjoint",
+    }
+)
+_BACKEND_ENTRY_CALLS = frozenset({"find_entry", "remove"})
+
+
+def _resolve_entry(shard: Datapath, entry: MegaflowEntry) -> MegaflowEntry:
+    """The worker's own entry object for a by-value copy (or the copy).
+
+    Falling back to the copy keeps value-keyed semantics working for
+    entries that are no longer installed (``reinject`` of a killed entry,
+    ``kill_entry`` marking an absent entry dead).
+    """
+    local = shard.megaflows.get_entry(entry.mask, entry.key)
+    return entry if local is None else local
+
+
+def _worker_handle(op: tuple, table: FlowTable, rules_by_id: dict, shards: dict[int, Datapath]):
+    kind = op[0]
+    if kind == "batch":
+        _, jobs, now = op
+        return [(sid, shards[sid].process_batch(keys, now=now)) for sid, keys in jobs]
+    if kind == "shard_get":
+        _, sid, attr = op
+        if attr not in _SHARD_GET:
+            raise SwitchError(f"shard attribute {attr!r} not exported")
+        return getattr(shards[sid], attr)
+    if kind == "shard_call":
+        _, sid, method, args, kwargs = op
+        if method not in _SHARD_CALL:
+            raise SwitchError(f"shard method {method!r} not exported")
+        if method in _SHARD_ENTRY_CALLS and args:
+            args = (_resolve_entry(shards[sid], args[0]),) + tuple(args[1:])
+        return getattr(shards[sid], method)(*args, **kwargs)
+    if kind == "backend_get":
+        _, sid, attr = op
+        if attr not in _BACKEND_GET:
+            raise SwitchError(f"backend attribute {attr!r} not exported")
+        return getattr(shards[sid].megaflows, attr)
+    if kind == "backend_call":
+        _, sid, method, args, kwargs = op
+        if method not in _BACKEND_CALL:
+            raise SwitchError(f"backend method {method!r} not exported")
+        backend = shards[sid].megaflows
+        if method in _BACKEND_ENTRY_CALLS and args:
+            args = (_resolve_entry(shards[sid], args[0]),) + tuple(args[1:])
+        result = getattr(backend, method)(*args, **kwargs)
+        if method == "entries":  # generator -> concrete, picklable list
+            result = list(result)
+        return result
+    if kind == "core_report":
+        return [(sid, shard.core_report()[0]) for sid, shard in shards.items()]
+    if kind == "flowtable":
+        _, removed_ids, added = op
+        removed = [rules_by_id.pop(rid) for rid in removed_ids if rid in rules_by_id]
+        for rid, rule in added:
+            rules_by_id[rid] = rule
+        table.apply_delta(add=[rule for _, rule in added], remove=removed)
+        return None
+    if kind == "ping":
+        return "pong"
+    raise SwitchError(f"unknown worker op {kind!r}")
+
+
+def _worker_main(
+    conn: "Connection",
+    shard_ids: tuple[int, ...],
+    init_rules: list,
+    config: DatapathConfig,
+) -> None:
+    """One worker process: replica flow table + its owned shards, forever."""
+    rules_by_id = {rid: rule for rid, rule in init_rules}
+    table = FlowTable(rules=[rule for _, rule in init_rules], name="pmd-worker-replica")
+    shards = {sid: Datapath(table, config) for sid in shard_ids}
+    while True:
+        try:
+            op = conn.recv()
+        except (EOFError, OSError):  # parent died; nothing left to serve
+            return
+        if op[0] == "close":
+            conn.send(("ok", None))
+            conn.close()
+            return
+        try:
+            conn.send(("ok", _worker_handle(op, table, rules_by_id, shards)))
+        except Exception as exc:  # ship the failure; keep serving
+            conn.send(("err", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+
+
+class BackendProxy:
+    """Parent-side handle onto one worker shard's megaflow backend.
+
+    Exposes the slice of the :class:`MegaflowBackend` protocol the
+    management layers (dpctl, MFCGuard, detector, benchmarks) drive.
+    Entries returned are copies; entry-taking calls are value-resolved in
+    the worker.  ``remove_where`` is unsupported — predicates do not cross
+    process boundaries; use ``evict_idle``/``remove`` or run the predicate
+    over ``entries()`` copies and ``remove`` the survivors.
+    """
+
+    def __init__(self, executor: "ProcessShardExecutor", shard_id: int):
+        self._executor = executor
+        self._shard_id = shard_id
+
+    def _get(self, attr: str):
+        return self._executor._shard_request(self._shard_id, ("backend_get", self._shard_id, attr))
+
+    def _call(self, method: str, *args, **kwargs):
+        return self._executor._shard_request(
+            self._shard_id, ("backend_call", self._shard_id, method, args, kwargs)
+        )
+
+    # statistics surface
+    @property
+    def stats_hits(self) -> int:
+        return self._get("stats_hits")
+
+    @property
+    def stats_misses(self) -> int:
+        return self._get("stats_misses")
+
+    @property
+    def stats_scans(self) -> int:
+        return self._get("stats_scans")
+
+    @property
+    def stats_scan_probes(self) -> int:
+        return self._get("stats_scan_probes")
+
+    @property
+    def check_invariants(self) -> bool:
+        return self._get("check_invariants")
+
+    # size
+    @property
+    def n_masks(self) -> int:
+        return self._get("n_masks")
+
+    @property
+    def n_entries(self) -> int:
+        return self._get("n_entries")
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    def memory_bytes(self) -> int:
+        return self._call("memory_bytes")
+
+    # probe-cost surface
+    def probe_unit_cost(self) -> float:
+        return self._call("probe_unit_cost")
+
+    def expected_scan_cost(self) -> float:
+        return self._call("expected_scan_cost")
+
+    def structural_scan_cost(self) -> float:
+        return self._call("structural_scan_cost")
+
+    def probe_cost_snapshot(self) -> ProbeCostSnapshot:
+        return self._call("probe_cost_snapshot")
+
+    # iteration / introspection (copies)
+    def entries(self) -> Iterator[MegaflowEntry]:
+        return iter(self._call("entries"))
+
+    def masks(self) -> list[FlowMask]:
+        return self._call("masks")
+
+    def entries_for_mask(self, mask: FlowMask) -> list[MegaflowEntry]:
+        return self._call("entries_for_mask", mask)
+
+    def find(self, key: FlowKey) -> MegaflowEntry | None:
+        return self._call("find", key)
+
+    def find_entry(self, entry: MegaflowEntry) -> bool:
+        return self._call("find_entry", entry)
+
+    def get_entry(self, mask: FlowMask, key: tuple[int, ...]) -> MegaflowEntry | None:
+        return self._call("get_entry", mask, key)
+
+    def probe_mask(self, mask: FlowMask, key: FlowKey, now: float = 0.0) -> MegaflowEntry | None:
+        return self._call("probe_mask", mask, key, now=now)
+
+    def verify_disjoint(self) -> None:
+        return self._call("verify_disjoint")
+
+    # mutation (management granularity; packets go through process_batch)
+    def remove(self, entry: MegaflowEntry) -> bool:
+        return self._call("remove", entry)
+
+    def evict_idle(self, now: float, idle_timeout: float) -> list[MegaflowEntry]:
+        return self._call("evict_idle", now, idle_timeout)
+
+    def clear_memo(self) -> None:
+        return self._call("clear_memo")
+
+    def shuffle_masks(self, seed: int = 0) -> None:
+        return self._call("shuffle_masks", seed=seed)
+
+    def __repr__(self) -> str:
+        return f"BackendProxy(shard {self._shard_id} @ {self._executor.describe()})"
+
+
+class ShardProxy:
+    """Parent-side handle onto one worker-owned :class:`Datapath` shard.
+
+    Duck-typed to the slice of the datapath surface the switch-management
+    layers use (hypervisor, revalidator, MFCGuard, dpctl, benchmarks);
+    packet batches normally flow through the executor's scatter/gather
+    path rather than per-proxy calls.
+    """
+
+    def __init__(self, executor: "ProcessShardExecutor", shard_id: int, config: DatapathConfig):
+        self._executor = executor
+        self._shard_id = shard_id
+        self.config = config
+        self.megaflows = BackendProxy(executor, shard_id)
+
+    def _get(self, attr: str):
+        return self._executor._shard_request(self._shard_id, ("shard_get", self._shard_id, attr))
+
+    def _call(self, method: str, *args, **kwargs):
+        return self._executor._shard_request(
+            self._shard_id, ("shard_call", self._shard_id, method, args, kwargs)
+        )
+
+    @property
+    def shard_id(self) -> int:
+        return self._shard_id
+
+    @property
+    def n_masks(self) -> int:
+        return self._get("n_masks")
+
+    @property
+    def n_megaflows(self) -> int:
+        return self._get("n_megaflows")
+
+    @property
+    def scan_cost(self) -> float:
+        return self._get("scan_cost")
+
+    @property
+    def now(self) -> float:
+        return self._get("now")
+
+    @property
+    def stats(self) -> DatapathStats:
+        return self._get("stats")
+
+    @property
+    def microflows(self):
+        """A snapshot copy of the worker shard's microflow cache (or None)."""
+        return self._get("microflows")
+
+    def core_report(self) -> list[CoreReport]:
+        return self._call("core_report")
+
+    # -- packet processing (management/diagnostic granularity) ------------------
+    def process(self, key: FlowKey, now: float | None = None) -> PacketVerdict:
+        return self._call("process", key, now=now)
+
+    def process_batch(self, keys: Sequence[FlowKey], now: float | None = None) -> BatchVerdicts:
+        return self._call("process_batch", list(keys), now=now)
+
+    # -- management --------------------------------------------------------------
+    def kill_entry(self, entry: MegaflowEntry, permanent: bool = True) -> bool:
+        return self._call("kill_entry", entry, permanent=permanent)
+
+    def reinject(self, entry: MegaflowEntry) -> None:
+        return self._call("reinject", entry)
+
+    def flush_caches(self) -> None:
+        return self._call("flush_caches")
+
+    def evict_idle(self, now: float | None = None) -> list[MegaflowEntry]:
+        return self._call("evict_idle", now)
+
+    def reset_stats(self) -> None:
+        return self._call("reset_stats")
+
+    def __repr__(self) -> str:
+        return f"ShardProxy(shard {self._shard_id} @ {self._executor.describe()})"
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Persistent worker-process pool; the shards live in the workers.
+
+    Workers are forked once at :meth:`build` (spawn where fork is
+    unavailable) and stay up for the datapath's lifetime, so per-batch
+    cost is one scatter/gather of pickled keys and verdicts — no
+    per-batch process creation, no re-detonation.  Shards are assigned to
+    workers round-robin by shard id; with ``workers >= n_shards`` each
+    shard gets a dedicated worker (one PMD core each, the deployment the
+    model mirrors).
+
+    The parent keeps the authoritative flow table and ships every change
+    as a delta message (see the module docstring for why deltas, not
+    snapshots or shared memory); worker replicas apply each delta with a
+    single change notification, preserving the serial flush cadence.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__()
+        self._requested_workers = workers
+        self._conns: list = []
+        self._procs: list = []
+        self._worker_of: dict[int, int] = {}
+        self._shards_of: dict[int, tuple[int, ...]] = {}
+        self._flow_table: FlowTable | None = None
+        self._rule_ids: dict[int, tuple[int, object]] = {}  # id(rule) -> (rid, rule)
+        self._next_rule_id = 0
+        self._closed = False
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._procs)
+
+    @staticmethod
+    def _context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return multiprocessing.get_context()
+
+    def build(self, flow_table: FlowTable, config: DatapathConfig, n_shards: int) -> None:
+        self._flow_table = flow_table
+        n_workers = max(1, min(self._requested_workers or n_shards, n_shards))
+        assignment: dict[int, list[int]] = {wid: [] for wid in range(n_workers)}
+        for shard_id in range(n_shards):
+            assignment[shard_id % n_workers].append(shard_id)
+            self._worker_of[shard_id] = shard_id % n_workers
+        init_rules = [(self._rule_id(rule), rule) for rule in flow_table.rules_by_priority()]
+        ctx = self._context()
+        for wid in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, tuple(assignment[wid]), init_rules, config),
+                name=f"pmd-worker-{wid}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+            self._shards_of[wid] = tuple(assignment[wid])
+        self._shards = tuple(ShardProxy(self, sid, config) for sid in range(n_shards))
+        # The control plane stays in the parent; every table change ships
+        # to the workers as a delta before the next message is processed.
+        flow_table.subscribe(self._ship_flow_table_delta)
+
+    # -- rule-id bookkeeping -------------------------------------------------------
+    def _rule_id(self, rule) -> int:
+        known = self._rule_ids.get(id(rule))
+        if known is not None:
+            return known[0]
+        rid = self._next_rule_id
+        self._next_rule_id += 1
+        self._rule_ids[id(rule)] = (rid, rule)  # keep the ref: id() stays valid
+        return rid
+
+    def _ship_flow_table_delta(self) -> None:
+        """Compute and broadcast one flow-table delta (adds + removed ids).
+
+        Called from the parent table's change notification; by the time it
+        runs the table already holds the new state, so the delta is the
+        diff between the rules previously shipped (tracked by object
+        identity — the parent owns the authoritative rule objects) and the
+        rules now in the table.  Workers apply the delta with a single
+        replica notification, so one parent change equals one worker-side
+        revalidation flush.
+        """
+        if self._closed or self._flow_table is None:
+            return
+        current = self._flow_table.rules_by_priority()
+        current_ids = {id(rule) for rule in current}
+        removed_rids = [
+            rid for obj_id, (rid, _rule) in self._rule_ids.items() if obj_id not in current_ids
+        ]
+        self._rule_ids = {
+            obj_id: entry for obj_id, entry in self._rule_ids.items() if obj_id in current_ids
+        }
+        added = [
+            (self._rule_id(rule), rule) for rule in current if id(rule) not in self._rule_ids
+        ]
+        if removed_rids or added:
+            self._broadcast(("flowtable", removed_rids, added))
+
+    # -- messaging ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed or not self._conns:
+            raise SwitchError("process executor is closed")
+
+    def _request(self, wid: int, op: tuple):
+        self._check_open()
+        conn = self._conns[wid]
+        try:
+            conn.send(op)
+            status, value = conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise SwitchError(
+                f"pmd worker {wid} died (op {op[0]!r}): {exc}"
+            ) from exc
+        if status == "err":
+            raise SwitchError(f"pmd worker {wid} failed op {op[0]!r}:\n{value}")
+        return value
+
+    def _shard_request(self, shard_id: int, op: tuple):
+        return self._request(self._worker_of[shard_id], op)
+
+    def _gather(self, wids: list[int], op_name: str) -> dict[int, object]:
+        """Receive one reply per listed worker, draining every connection
+        before raising — a failed worker must not leave sibling replies
+        queued, or the next request would read a stale answer."""
+        replies: dict[int, object] = {}
+        errors: list[str] = []
+        for wid in wids:
+            try:
+                status, value = self._conns[wid].recv()
+            except (EOFError, OSError) as exc:
+                errors.append(f"pmd worker {wid} died (op {op_name!r}): {exc}")
+                continue
+            if status == "err":
+                errors.append(f"pmd worker {wid} failed op {op_name!r}:\n{value}")
+            else:
+                replies[wid] = value
+        if errors:
+            raise SwitchError("; ".join(errors))
+        return replies
+
+    def _broadcast(self, op: tuple) -> list:
+        self._check_open()
+        for conn in self._conns:
+            conn.send(op)
+        replies = self._gather(list(range(len(self._conns))), op[0])
+        return [replies[wid] for wid in range(len(self._conns))]
+
+    # -- execution --------------------------------------------------------------------
+    def run_batch(
+        self, buckets: dict[int, list[FlowKey]], now: float | None
+    ) -> dict[int, BatchVerdicts]:
+        self._check_open()
+        jobs_by_worker: dict[int, list[tuple[int, list[FlowKey]]]] = {}
+        for shard_id, keys in sorted(buckets.items()):
+            jobs_by_worker.setdefault(self._worker_of[shard_id], []).append((shard_id, keys))
+        # Scatter to every involved worker first, then gather — this is
+        # where the parallelism comes from.
+        for wid, jobs in jobs_by_worker.items():
+            self._conns[wid].send(("batch", jobs, now))
+        merged: dict[int, BatchVerdicts] = {}
+        for value in self._gather(list(jobs_by_worker), "batch").values():
+            for shard_id, verdicts in value:
+                merged[shard_id] = verdicts
+        return merged
+
+    def core_report(self) -> list[CoreReport]:
+        by_shard: dict[int, CoreReport] = {}
+        for worker_result in self._broadcast(("core_report",)):
+            for shard_id, report in worker_result:
+                by_shard[shard_id] = report
+        return [by_shard[sid] for sid in range(len(self._shards))]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+                conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                pass
+            finally:
+                conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.n_workers} workers]"
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# -- registry --------------------------------------------------------------------
+
+_SHARD_EXECUTORS: dict[str, Callable[..., ShardExecutor]] = {
+    SerialShardExecutor.name: SerialShardExecutor,
+    ThreadShardExecutor.name: ThreadShardExecutor,
+    ProcessShardExecutor.name: ProcessShardExecutor,
+}
+
+
+def register_shard_executor(name: str, factory: Callable[..., ShardExecutor]) -> None:
+    """Register an executor factory under ``name`` (last registration wins)."""
+    _SHARD_EXECUTORS[name] = factory
+
+
+def shard_executor_names() -> tuple[str, ...]:
+    """All registered executor strategy names, sorted."""
+    return tuple(sorted(_SHARD_EXECUTORS))
+
+
+def make_shard_executor(name: str, workers: int | None = None) -> ShardExecutor:
+    """Build a shard executor by registry name.
+
+    Args:
+        name: registered strategy (``"serial"``, ``"thread"``, ``"process"``).
+        workers: worker cap for pooled strategies (``None``/0 → one per
+            shard); ignored by ``serial``.
+    """
+    factory = _SHARD_EXECUTORS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_SHARD_EXECUTORS))
+        raise SwitchError(f"unknown shard executor {name!r}; known: {known}")
+    if factory is SerialShardExecutor:
+        return factory()
+    return factory(workers=workers or None)

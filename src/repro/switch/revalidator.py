@@ -62,28 +62,39 @@ class Revalidator:
         return self.sweep(now)
 
     def sweep(self, now: float) -> list[MegaflowEntry]:
-        """One full revalidation pass; returns the evicted entries."""
-        self.stats.sweeps += 1
-        entries_before = self.datapath.n_megaflows
-        self.stats.work_units += entries_before * REVALIDATE_UNITS_PER_ENTRY
+        """One full revalidation pass; returns the evicted entries.
 
-        evicted = self.datapath.evict_idle(now)
-        self.stats.evicted_idle += len(evicted)
+        The sweep runs under the datapath's maintenance lock so a
+        parallel executor never lets it observe a shard mid-batch; under
+        the process executor the entries it dumps are value-addressed
+        copies, which ``kill_entry`` resolves in the owning worker.
+        """
+        with self.datapath.maintenance():
+            self.stats.sweeps += 1
+            entries_before = self.datapath.n_megaflows
+            self.stats.work_units += entries_before * REVALIDATE_UNITS_PER_ENTRY
 
-        # Flow-limit pressure: if still above the limit after idle eviction,
-        # drop the least recently used entries (OVS lowers the limit and
-        # evicts aggressively under memory pressure).
-        overflow = self.datapath.n_megaflows - self.datapath.config.max_megaflows
-        if overflow > 0:
-            by_lru = sorted(
-                (entry for shard in self.datapath.shards for entry in shard.megaflows.entries()),
-                key=lambda e: e.last_used,
-            )
-            for entry in by_lru[:overflow]:
-                self.datapath.kill_entry(entry, permanent=False)
-            self.stats.evicted_limit += overflow
-            evicted = evicted + by_lru[:overflow]
-        return evicted
+            evicted = self.datapath.evict_idle(now)
+            self.stats.evicted_idle += len(evicted)
+
+            # Flow-limit pressure: if still above the limit after idle
+            # eviction, drop the least recently used entries (OVS lowers the
+            # limit and evicts aggressively under memory pressure).
+            overflow = self.datapath.n_megaflows - self.datapath.config.max_megaflows
+            if overflow > 0:
+                by_lru = sorted(
+                    (
+                        entry
+                        for shard in self.datapath.shards
+                        for entry in shard.megaflows.entries()
+                    ),
+                    key=lambda e: e.last_used,
+                )
+                for entry in by_lru[:overflow]:
+                    self.datapath.kill_entry(entry, permanent=False)
+                self.stats.evicted_limit += overflow
+                evicted = evicted + by_lru[:overflow]
+            return evicted
 
     def sweep_work_units(self) -> float:
         """Units a sweep would cost right now (CPU accounting)."""

@@ -36,6 +36,7 @@ from repro.packet.fields import FIELD_ORDER, FIELDS, FlowKey
 __all__ = [
     "RSS_FIELDS",
     "five_tuple_hash",
+    "uniform_key_hash",
     "RssDispatcher",
     "RetargetReport",
     "retarget_trace",
@@ -65,6 +66,23 @@ def five_tuple_hash(key: FlowKey) -> int:
             h ^= (value >> shift) & 0xFF
             h = (h * _FNV_PRIME) & 0xFFFFFFFF
     return h
+
+
+def uniform_key_hash(key: FlowKey) -> int:
+    """A well-mixing hash over the *full* key (balanced-placement studies).
+
+    The crafted keys of a TSE staircase differ in structured bit patterns
+    that the byte-serial FNV walk keeps correlated, so the natural
+    :func:`five_tuple_hash` placement of a detonation can be lopsided (one
+    queue carrying ~half the masks).  Python's tuple hash mixes every
+    field through a SipHash-derived round and spreads the same staircase
+    near-uniformly.  Deterministic for integer tuples (``PYTHONHASHSEED``
+    only perturbs str/bytes), stable per flow — a drop-in ``hash_fn`` for
+    experiments and benchmarks that need the *even-spread* regime (e.g.
+    measuring executor scaling without queue imbalance in the way) rather
+    than a NIC-faithful one.
+    """
+    return hash(key.values) & 0xFFFFFFFF
 
 
 class RssDispatcher:

@@ -16,6 +16,14 @@ surface as a single datapath (``process`` / ``process_batch`` /
 revalidator, MFCGuard and dpctl drive either interchangeably; per-shard
 structure is reachable through ``.shards`` for per-core accounting.
 
+*Where and how* the shards execute is delegated to a pluggable
+:class:`~repro.switch.executor.ShardExecutor` (``config.executor`` /
+the ``executor=`` argument): ``serial`` runs them in the caller's thread
+(the reference), ``thread`` overlaps the GIL-releasing numpy scan kernels
+on a pool, and ``process`` keeps each shard in a persistent worker
+process for true multi-core wall clock — with identical verdicts,
+statistics and probe accounting in every mode.
+
 Sharding invariants (see ROADMAP.md):
 
 * dicts-as-truth and batch ≡ sequential hold *per shard* — each shard is a
@@ -31,7 +39,6 @@ Sharding invariants (see ROADMAP.md):
 from __future__ import annotations
 
 from dataclasses import dataclass
-
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.classifier.backend import MegaflowEntry
@@ -40,11 +47,13 @@ from repro.packet.fields import FlowKey
 from repro.packet.packet import Packet
 from repro.switch.datapath import (
     BatchVerdicts,
+    CoreReport,
     Datapath,
     DatapathConfig,
     DatapathStats,
     PacketVerdict,
 )
+from repro.switch.executor import ShardExecutor, make_shard_executor
 from repro.switch.rss import RssDispatcher, five_tuple_hash
 
 __all__ = ["ShardBatchVerdicts", "ShardedDatapath", "AnyDatapath"]
@@ -70,12 +79,21 @@ class ShardedDatapath:
 
     Args:
         flow_table: the shared slow-path classifier (one control plane; a
-            flow-table change revalidates — flushes — every shard).
-        config: per-shard datapath knobs, applied to each shard.
+            flow-table change revalidates — flushes — every shard, however
+            the executor places them).
+        config: per-shard datapath knobs, applied to each shard
+            (``config.executor`` picks the execution strategy).
         n_shards: PMD core / receive-queue count.
         hash_fn: pluggable RSS hash (see :mod:`repro.switch.rss`).
         rss: a pre-built dispatcher; when given it is authoritative and
             ``n_shards``/``hash_fn`` are ignored.
+        executor: execution-strategy override — a registry name
+            (``"serial"``/``"thread"``/``"process"``) or a pre-built,
+            unbuilt :class:`ShardExecutor`; defaults to
+            ``config.executor``.  ``serial``/``thread`` run in-process
+            shards; ``process`` keeps the shards in persistent worker
+            processes reached through proxies (call :meth:`close`, or use
+            the datapath as a context manager, to stop the workers).
     """
 
     def __init__(
@@ -85,6 +103,7 @@ class ShardedDatapath:
         n_shards: int = 1,
         hash_fn: Callable[[FlowKey], int] = five_tuple_hash,
         rss: RssDispatcher | None = None,
+        executor: str | ShardExecutor | None = None,
     ):
         if rss is not None:
             n_shards = rss.n_queues  # the dispatcher is authoritative
@@ -93,8 +112,29 @@ class ShardedDatapath:
         self.config = config or DatapathConfig()
         self.flow_table = flow_table
         self.rss = rss
-        # Each shard subscribes itself to flow-table revalidation flushes.
-        self._shards = tuple(Datapath(flow_table, self.config) for _ in range(n_shards))
+        if executor is None:
+            executor = self.config.executor
+        if isinstance(executor, str):
+            executor = make_shard_executor(
+                executor, workers=self.config.executor_workers or None
+            )
+        self.executor: ShardExecutor = executor
+        # The executor owns shard placement: in-process shards subscribe
+        # themselves to flow-table revalidation flushes; worker-owned
+        # shards get the changes shipped as delta messages.
+        self.executor.build(flow_table, self.config, n_shards)
+        self._shards = self.executor.shards
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Release the executor (stops worker pools/processes); idempotent."""
+        self.executor.close()
+
+    def __enter__(self) -> "ShardedDatapath":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- sharding surface ---------------------------------------------------------
     @property
@@ -104,12 +144,30 @@ class ShardedDatapath:
 
     @property
     def shards(self) -> tuple[Datapath, ...]:
-        """The per-PMD shard datapaths, indexed by queue id."""
+        """The per-PMD shard datapaths (or worker proxies), by queue id."""
         return self._shards
+
+    @property
+    def executor_name(self) -> str:
+        """The execution strategy, e.g. ``"serial"`` or ``"process[4 workers]"``."""
+        return self.executor.describe()
 
     def shard_of(self, key: FlowKey) -> int:
         """The shard RSS dispatches ``key``'s flow to."""
         return self.rss.queue_of(key)
+
+    def maintenance(self):
+        """Serialise a management sweep against in-flight shard batches."""
+        return self.executor.maintenance()
+
+    def core_report(self) -> list[CoreReport]:
+        """Per-core (n_masks, n_megaflows, scan_cost) snapshots, by shard id.
+
+        One executor round trip — under the ``process`` strategy this is a
+        single broadcast instead of 3 × n_shards proxy reads, which is what
+        keeps the hypervisor's per-tick settlement cheap.
+        """
+        return self.executor.core_report()
 
     # -- aggregate cache sizes ----------------------------------------------------
     @property
@@ -166,7 +224,9 @@ class ShardedDatapath:
     # -- packet processing --------------------------------------------------------
     def process(self, key: FlowKey, now: float | None = None) -> PacketVerdict:
         """Classify one packet on the shard RSS assigns it to."""
-        return self._shards[self.shard_of(key)].process(key, now=now)
+        shard_id = self.shard_of(key)
+        with self.executor.lock(shard_id):
+            return self._shards[shard_id].process(key, now=now)
 
     def process_batch(
         self, keys: Sequence[FlowKey], now: float | None = None
@@ -175,9 +235,12 @@ class ShardedDatapath:
 
         Per-shard sub-batches preserve arrival order, so within a shard
         this is exactly that shard's ``process_batch``; across shards the
-        pipelines are independent, so any interleaving is equivalent.  The
-        result is reassembled in arrival order with each packet's shard id
-        and its shard-local pre-packet mask count.
+        pipelines are independent, so any physical interleaving — the
+        executor may run them serially, on pool threads, or in worker
+        processes — is equivalent.  The result is reassembled by original
+        arrival index in shard-id order (deterministic however the
+        sub-batches were scheduled), with each packet's shard id and its
+        shard-local pre-packet mask count and expected scan cost.
         """
         keys = list(keys)
         buckets = self.rss.partition(keys)
@@ -189,11 +252,14 @@ class ShardedDatapath:
         verdicts: list[PacketVerdict | None] = [None] * len(keys)
         mask_counts = [0] * len(keys)
         probe_costs = [1.0] * len(keys)
-        for shard_id, indices in buckets.items():
-            batch = self._shards[shard_id].process_batch(
-                [keys[i] for i in indices], now=now
-            )
-            for position, index in enumerate(indices):
+        sub_batches = {
+            shard_id: [keys[i] for i in indices]
+            for shard_id, indices in buckets.items()
+        }
+        results = self.executor.run_batch(sub_batches, now)
+        for shard_id in sorted(results):
+            batch = results[shard_id]
+            for position, index in enumerate(buckets[shard_id]):
                 verdicts[index] = batch.verdicts[position]
                 mask_counts[index] = batch.mask_counts[position]
                 probe_costs[index] = batch.probe_costs[position]
@@ -225,34 +291,43 @@ class ShardedDatapath:
             yield from shard.megaflows.entries()
 
     def kill_entry(self, entry: MegaflowEntry, permanent: bool = True) -> bool:
-        """Remove a megaflow from every shard holding it (MFCGuard delete)."""
+        """Remove a megaflow from every shard holding it (MFCGuard delete).
+
+        Entries are matched by value (``mask`` + masked key), so copies
+        that crossed a worker-process boundary address the same megaflow.
+        """
         removed = False
-        for shard in self._shards:
-            if shard.megaflows.find_entry(entry):
-                removed = shard.kill_entry(entry, permanent=permanent) or removed
+        for shard_id, shard in enumerate(self._shards):
+            with self.executor.lock(shard_id):
+                if shard.megaflows.find_entry(entry):
+                    removed = shard.kill_entry(entry, permanent=permanent) or removed
         return removed
 
     def reinject(self, entry: MegaflowEntry) -> None:
         """Re-allow an entry previously killed permanently, on every shard."""
-        for shard in self._shards:
-            shard.reinject(entry)
+        for shard_id, shard in enumerate(self._shards):
+            with self.executor.lock(shard_id):
+                shard.reinject(entry)
 
     def flush_caches(self) -> None:
         """Drop every shard's cached state (flow-table revalidation)."""
-        for shard in self._shards:
-            shard.flush_caches()
+        for shard_id, shard in enumerate(self._shards):
+            with self.executor.lock(shard_id):
+                shard.flush_caches()
 
     def evict_idle(self, now: float | None = None) -> list[MegaflowEntry]:
         """Evict idle megaflows on every shard; returns all evicted entries."""
         evicted: list[MegaflowEntry] = []
-        for shard in self._shards:
-            evicted.extend(shard.evict_idle(now))
+        for shard_id, shard in enumerate(self._shards):
+            with self.executor.lock(shard_id):
+                evicted.extend(shard.evict_idle(now))
         return evicted
 
     def reset_stats(self) -> None:
         """Zero every shard's aggregate counters."""
-        for shard in self._shards:
-            shard.reset_stats()
+        for shard_id, shard in enumerate(self._shards):
+            with self.executor.lock(shard_id):
+                shard.reset_stats()
 
     def __repr__(self) -> str:
         per_shard = ", ".join(str(shard.n_masks) for shard in self._shards)

@@ -1,0 +1,153 @@
+"""Unit tests for the bench-trajectory CI gate (``tools/bench_trajectory.py``).
+
+The gate's contract: the committed trajectory passes against itself, a
+synthetic regression is rejected (CI runs ``--self-test`` before trusting
+any green diff — this file pins the behaviours that make that proof
+meaningful), and the perf-smoke bench list is derived from the committed
+``results/BENCH_*.json`` files rather than a hardcoded list.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "bench_trajectory.py"
+
+spec = importlib.util.spec_from_file_location("bench_trajectory", TOOL)
+bench_trajectory = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("bench_trajectory", bench_trajectory)
+spec.loader.exec_module(bench_trajectory)
+
+
+def regressions(findings):
+    return [f for f in findings if f.failed]
+
+
+class TestMetricRules:
+    def test_pps_drop_beyond_tolerance_fails(self):
+        base = {"replay_pps": 1000.0}
+        ok = bench_trajectory.compare_payloads("x", base, {"replay_pps": 700.0})
+        bad = bench_trajectory.compare_payloads("x", base, {"replay_pps": 400.0})
+        assert not regressions(ok)  # within the loose wall-clock band
+        assert regressions(bad)
+
+    def test_pps_improvement_passes(self):
+        base = {"replay_pps": 1000.0}
+        findings = bench_trajectory.compare_payloads("x", base, {"replay_pps": 5000.0})
+        assert not regressions(findings)
+
+    def test_seconds_growth_fails_shrink_passes(self):
+        base = {"insert_10k_seconds": 0.2}
+        assert regressions(
+            bench_trajectory.compare_payloads("x", base, {"insert_10k_seconds": 0.9})
+        )
+        assert not regressions(
+            bench_trajectory.compare_payloads("x", base, {"insert_10k_seconds": 0.05})
+        )
+
+    def test_structural_metric_must_match(self):
+        base = {"masks": 8209}
+        assert regressions(bench_trajectory.compare_payloads("x", base, {"masks": 8000}))
+        assert not regressions(
+            bench_trajectory.compare_payloads("x", base, {"masks": 8209})
+        )
+
+    def test_missing_metric_is_a_regression(self):
+        base = {"masks": 1, "replay_pps": 10.0}
+        findings = bench_trajectory.compare_payloads("x", base, {"masks": 1})
+        assert any(f.metric == "replay_pps" and f.failed for f in findings)
+
+    def test_new_metric_is_reported_not_failed(self):
+        findings = bench_trajectory.compare_payloads("x", {"masks": 1}, {"masks": 1, "extra": 2})
+        kinds = {f.metric: f.kind for f in findings}
+        assert kinds["extra"] == "new-metric"
+        assert not regressions(findings)
+
+    def test_cpu_count_is_environmental_not_compared(self):
+        findings = bench_trajectory.compare_payloads("x", {"cpus": 1}, {"cpus": 64})
+        assert findings == []
+
+    def test_list_metrics_compare_elementwise(self):
+        base = {"masks_per_shard": [100, 100, 100, 100]}
+        assert not regressions(
+            bench_trajectory.compare_payloads(
+                "x", base, {"masks_per_shard": [100, 100, 100, 100]}
+            )
+        )
+        assert regressions(
+            bench_trajectory.compare_payloads(
+                "x", base, {"masks_per_shard": [100, 400, 100, 100]}
+            )
+        )
+        assert regressions(
+            bench_trajectory.compare_payloads("x", base, {"masks_per_shard": [100, 100]})
+        )
+
+
+class TestDirectoryDiff:
+    def test_doctored_directory_fails_and_clean_passes(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        for directory in (baseline, current):
+            directory.mkdir()
+        payload = {"masks": 100, "replay_pps": 1000.0}
+        (baseline / "BENCH_x.json").write_text(json.dumps(payload))
+        (current / "BENCH_x.json").write_text(json.dumps(payload))
+        assert not regressions(bench_trajectory.compare_dirs(baseline, current))
+
+        doctored = {"masks": 100, "replay_pps": 100.0}
+        (current / "BENCH_x.json").write_text(json.dumps(doctored))
+        assert regressions(bench_trajectory.compare_dirs(baseline, current))
+
+    def test_missing_result_file_is_a_regression(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        for directory in (baseline, current):
+            directory.mkdir()
+        (baseline / "BENCH_x.json").write_text(json.dumps({"masks": 1}))
+        findings = bench_trajectory.compare_dirs(baseline, current)
+        assert regressions(findings)
+
+    def test_smoke_files_are_not_trajectory(self, tmp_path):
+        (tmp_path / "BENCH_x.smoke.json").write_text("{}")
+        (tmp_path / "BENCH_y.json").write_text("{}")
+        names = [p.name for p in bench_trajectory.trajectory_files(tmp_path)]
+        assert names == ["BENCH_y.json"]
+
+
+class TestBenchListDerivation:
+    def test_committed_trajectory_maps_to_existing_benches(self):
+        benches = bench_trajectory.guarded_benches()
+        names = {b.name for b in benches}
+        # Every committed BENCH_*.json has a bench, and the new parallel
+        # bench rides in automatically once its trajectory is committed.
+        for path in bench_trajectory.trajectory_files():
+            assert f"bench_{path.stem[len('BENCH_'):]}.py" in names
+        assert all(b.exists() for b in benches)
+
+    def test_stale_trajectory_without_bench_is_loud(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_ghost.json").write_text("{}")
+        with pytest.raises(FileNotFoundError, match="ghost"):
+            bench_trajectory.guarded_benches(results_dir=results)
+
+
+def test_self_test_passes_against_committed_trajectory():
+    """The CI step: synthetic regressions must be caught, clean must pass."""
+    assert bench_trajectory.self_test() == 0
+
+
+def test_markdown_report_lists_regressions():
+    findings = bench_trajectory.compare_payloads(
+        "x", {"replay_pps": 1000.0}, {"replay_pps": 1.0}
+    )
+    report = bench_trajectory.render_markdown(findings)
+    assert "1 regression(s)" in report
+    assert "replay_pps" in report

@@ -2,15 +2,13 @@
 
 import pytest
 
+from repro.classifier.backend import megaflow_backend_names
 from repro.core.tracegen import ColocatedTraceGenerator
 from repro.core.usecases import DP, SIPDP
 from repro.packet.fields import FlowKey
 from repro.packet.headers import PROTO_TCP
 from repro.switch.datapath import Datapath, DatapathConfig
 from repro.switch.dpctl import dump_flows, format_flow, mask_histogram, show
-
-
-from repro.classifier.backend import megaflow_backend_names
 
 
 # dpctl renders the protocol surface (entries / masks / counters /
@@ -78,7 +76,7 @@ class TestDumpFlows:
     def test_ip_rendering_cidr(self):
         table = SIPDP.build_table()
         datapath = Datapath(table, DatapathConfig(microflow_capacity=0))
-        verdict = datapath.process(
+        datapath.process(
             FlowKey(ip_proto=PROTO_TCP, ip_src=0x0A000001, tp_src=1, tp_dst=81)
         )
         text = dump_flows(datapath)

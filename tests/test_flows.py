@@ -105,7 +105,7 @@ class TestRandomFlood:
 class TestVictimFlow:
     def test_registration(self):
         host = make_host()
-        flow = VictimFlow(host, "v", KEYS[:1], offered_gbps=1.0)
+        VictimFlow(host, "v", KEYS[:1], offered_gbps=1.0)
         assert "v" in host.victims
 
     def test_duplicate_name_rejected(self):

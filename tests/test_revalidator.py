@@ -3,15 +3,13 @@
 import pytest
 
 from repro.classifier.actions import ALLOW
+from repro.classifier.backend import megaflow_backend_names
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import Match
 from repro.exceptions import SwitchError
 from repro.packet.fields import FlowKey
 from repro.switch.datapath import Datapath, DatapathConfig
 from repro.switch.revalidator import REVALIDATE_UNITS_PER_ENTRY, Revalidator
-
-
-from repro.classifier.backend import megaflow_backend_names
 
 
 # The revalidator drives caches through the MegaflowBackend protocol only

@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.classifier.actions import ALLOW, DENY
+from repro.classifier.backend import megaflow_backend_names
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import Match
 from repro.core.tracegen import ColocatedTraceGenerator
@@ -93,8 +94,6 @@ class TestRss:
             # Only the ground field changed.
             assert pinned.replace(tp_src=0) == key.replace(tp_src=0)
 
-
-from repro.classifier.backend import megaflow_backend_names
 
 # Derived from the registry: a newly registered backend automatically
 # inherits the sharding-invariant coverage.

@@ -22,7 +22,6 @@ from repro.classifier.slowpath import (
 from repro.classifier.tss import TupleSpaceSearch
 from repro.exceptions import StrategyError
 from repro.packet.fields import FlowKey
-
 from tests.conftest import HYP2_MASK, HYP_MASK, HYP_SHIFT, hyp, hyp2
 
 

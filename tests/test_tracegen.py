@@ -2,14 +2,13 @@
 
 import pytest
 
+from repro.classifier.flowtable import FlowTable
 from repro.core.tracegen import AdversarialTrace, ColocatedTraceGenerator, bit_inversion_list
 from repro.core.usecases import DP, SIPDP, SIPSPDP, SPDP
 from repro.exceptions import ExperimentError
-from repro.classifier.flowtable import FlowTable
 from repro.packet.fields import FlowKey
 from repro.packet.headers import PROTO_TCP
 from repro.switch.datapath import Datapath, DatapathConfig
-
 from tests.conftest import HYP_SHIFT
 
 

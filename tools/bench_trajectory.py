@@ -1,0 +1,315 @@
+#!/usr/bin/env python
+"""The bench-trajectory gate: diff fresh bench results against the committed
+perf trajectory, with per-metric regression thresholds.
+
+The committed ``results/BENCH_*.json`` files are the repo's full-size perf
+trajectory (smoke runs publish to gitignored ``.smoke.json`` files and never
+touch them).  This tool is what turns that trajectory into an automated
+regression gate:
+
+* ``--list-benches`` derives the perf-guard bench list from the trajectory
+  itself: every committed ``results/BENCH_<name>.json`` maps to
+  ``benchmarks/bench_<name>.py`` (and must exist) — so a new bench that
+  publishes a trajectory file is picked up by CI automatically, with no
+  hardcoded file list to forget to update.
+* ``--baseline DIR --current DIR`` compares two result directories metric
+  by metric and exits non-zero on any regression.  Metrics are classified
+  by name: wall-clock metrics (``*pps*``, ``*seconds*``, ``speedup*``,
+  ``*ratio*``) get loose directional thresholds that survive runner
+  variance; everything else (mask counts, entry counts, simulated Gbps
+  floors…) is deterministic simulation output and must match tightly.
+  A metric present in the baseline but missing from the current run is a
+  regression; new metrics are reported but pass.
+* ``--self-test`` verifies the gate can actually fail: it injects a
+  synthetic regression into a copy of the committed trajectory and
+  asserts the comparison rejects it (and that the unmodified trajectory
+  passes against itself).  CI runs this before trusting a green diff.
+
+Exit codes: 0 = trajectory holds, 1 = regression(s), 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "results"
+BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
+
+#: Metric keys that are environment descriptions, not comparable results.
+IGNORED_KEYS = frozenset({"cpus"})
+
+#: (regex over the metric key, direction, relative tolerance).  First match
+#: wins; checked per metric name.  Directions: "higher" fails when the
+#: current value drops more than tol below baseline, "lower" fails when it
+#: rises more than tol above, "equal" fails outside a +-tol band.
+DEFAULT_RULES: tuple[tuple[str, str, float], ...] = (
+    # Wall-clock measurements: noisy across runners, only large drops are
+    # actionable.
+    (r"pps", "higher", 0.50),
+    (r"speedup", "higher", 0.35),
+    (r"seconds", "lower", 1.00),
+    # Ratio guards around timing (insert scaling should stay near-linear:
+    # lower is better; floor ratios measure a defense win: higher better).
+    (r"^insert_ratio", "lower", 0.75),
+    (r"floor_ratio", "higher", 0.35),
+    # Everything else numeric is deterministic simulation output.
+    (r".", "equal", 0.02),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One metric-level comparison outcome."""
+
+    bench: str
+    metric: str
+    kind: str  # "regression" | "new-metric" | "ok"
+    detail: str
+
+    @property
+    def failed(self) -> bool:
+        return self.kind == "regression"
+
+
+def trajectory_files(results_dir: Path = RESULTS_DIR) -> list[Path]:
+    """The committed full-size trajectory files (smoke files excluded)."""
+    return sorted(
+        path
+        for path in results_dir.glob("BENCH_*.json")
+        if not path.name.endswith(".smoke.json")
+    )
+
+
+def guarded_benches(
+    results_dir: Path = RESULTS_DIR, benchmarks_dir: Path = BENCHMARKS_DIR
+) -> list[Path]:
+    """Map every trajectory file onto its benchmark module.
+
+    Raises ``FileNotFoundError`` when a trajectory file has no matching
+    bench — a deleted bench must take its trajectory with it, otherwise
+    the gate would silently stop guarding that surface.
+    """
+    benches = []
+    for path in trajectory_files(results_dir):
+        name = path.stem[len("BENCH_"):]
+        bench = benchmarks_dir / f"bench_{name}.py"
+        if not bench.exists():
+            raise FileNotFoundError(
+                f"{path.name} has no matching {bench.name} — remove the "
+                "stale trajectory file or restore the benchmark"
+            )
+        benches.append(bench)
+    return benches
+
+
+def _rule_for(metric: str) -> tuple[str, float]:
+    for pattern, direction, tolerance in DEFAULT_RULES:
+        if re.search(pattern, metric):
+            return direction, tolerance
+    return "equal", 0.02  # pragma: no cover - the catch-all rule matches
+
+
+def _compare_number(bench: str, metric: str, base: float, cur: float) -> Finding:
+    direction, tol = _rule_for(metric)
+    scale = max(abs(base), 1e-12)
+    delta = (cur - base) / scale
+    detail = f"{base} -> {cur} ({delta:+.1%}, rule {direction}±{tol:.0%})"
+    if direction == "higher" and delta < -tol:
+        return Finding(bench, metric, "regression", detail)
+    if direction == "lower" and delta > tol:
+        return Finding(bench, metric, "regression", detail)
+    if direction == "equal" and abs(delta) > tol:
+        return Finding(bench, metric, "regression", detail)
+    return Finding(bench, metric, "ok", detail)
+
+
+def _compare_value(bench: str, metric: str, base, cur) -> list[Finding]:
+    if isinstance(base, bool) or isinstance(cur, bool):
+        base, cur = str(base), str(cur)
+    if isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+        return [_compare_number(bench, metric, float(base), float(cur))]
+    if isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            return [
+                Finding(
+                    bench,
+                    metric,
+                    "regression",
+                    f"length changed {len(base)} -> {len(cur)}",
+                )
+            ]
+        findings: list[Finding] = []
+        for index, (b, c) in enumerate(zip(base, cur)):
+            findings.extend(_compare_value(bench, f"{metric}[{index}]", b, c))
+        return findings
+    if base != cur:
+        return [Finding(bench, metric, "regression", f"{base!r} -> {cur!r}")]
+    return [Finding(bench, metric, "ok", f"{base!r}")]
+
+
+def compare_payloads(bench: str, baseline: dict, current: dict) -> list[Finding]:
+    """Compare one bench's committed payload against a fresh run."""
+    findings: list[Finding] = []
+    for metric in sorted(baseline):
+        if metric in IGNORED_KEYS:
+            continue
+        if metric not in current:
+            findings.append(
+                Finding(bench, metric, "regression", "metric missing from current run")
+            )
+            continue
+        findings.extend(_compare_value(bench, metric, baseline[metric], current[metric]))
+    for metric in sorted(set(current) - set(baseline) - IGNORED_KEYS):
+        findings.append(Finding(bench, metric, "new-metric", f"{current[metric]!r}"))
+    return findings
+
+
+def compare_dirs(baseline_dir: Path, current_dir: Path) -> list[Finding]:
+    """Compare every trajectory file present in ``baseline_dir``."""
+    findings: list[Finding] = []
+    for base_path in trajectory_files(baseline_dir):
+        bench = base_path.stem[len("BENCH_"):]
+        cur_path = current_dir / base_path.name
+        if not cur_path.exists():
+            findings.append(
+                Finding(bench, "<file>", "regression", f"{base_path.name} not produced")
+            )
+            continue
+        findings.extend(
+            compare_payloads(
+                bench,
+                json.loads(base_path.read_text()),
+                json.loads(cur_path.read_text()),
+            )
+        )
+    return findings
+
+
+def render_markdown(findings: list[Finding]) -> str:
+    """The artifact report: regressions first, then notes, then the rest."""
+    regressions = [f for f in findings if f.kind == "regression"]
+    new_metrics = [f for f in findings if f.kind == "new-metric"]
+    lines = ["# Bench trajectory diff", ""]
+    lines.append(
+        f"**{len(regressions)} regression(s)** across "
+        f"{len({f.bench for f in findings})} bench payload(s); "
+        f"{len(new_metrics)} new metric(s)."
+    )
+    for title, rows in (("Regressions", regressions), ("New metrics", new_metrics)):
+        lines += ["", f"## {title}", ""]
+        if not rows:
+            lines.append("(none)")
+            continue
+        lines.append("| bench | metric | detail |")
+        lines.append("|---|---|---|")
+        lines += [f"| {f.bench} | {f.metric} | {f.detail} |" for f in rows]
+    lines += ["", "## All comparisons", ""]
+    lines += [f"- `{f.bench}.{f.metric}`: {f.kind} — {f.detail}" for f in findings]
+    return "\n".join(lines) + "\n"
+
+
+def self_test() -> int:
+    """Prove the gate bites: a synthetic regression must be rejected.
+
+    Uses the committed trajectory as its own baseline (which must pass),
+    then injects a synthetic 10x pps collapse, a mask-count drift and a
+    dropped metric (which must each fail).
+    """
+    files = trajectory_files()
+    if not files:
+        print("self-test: no committed trajectory files found", file=sys.stderr)
+        return 2
+    clean = compare_dirs(RESULTS_DIR, RESULTS_DIR)
+    clean_regressions = [f for f in clean if f.failed]
+    if clean_regressions:
+        print("self-test: committed trajectory does not pass against itself:")
+        for finding in clean_regressions:
+            print(f"  {finding.bench}.{finding.metric}: {finding.detail}")
+        return 1
+
+    baseline = json.loads(files[0].read_text())
+    bench = files[0].stem[len("BENCH_"):]
+    doctored = dict(baseline)
+    synthetic: list[str] = []
+    for metric, value in baseline.items():
+        if metric in IGNORED_KEYS:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        direction, _tol = _rule_for(metric)
+        if direction == "higher" and "pps" in metric:
+            doctored[metric] = value / 10.0  # a 10x throughput collapse
+            synthetic.append(metric)
+        elif direction == "equal" and isinstance(value, int) and value > 10:
+            doctored[metric] = value + max(1, value // 2)  # structural drift
+            synthetic.append(metric)
+    dropped = next(m for m in baseline if m not in IGNORED_KEYS)
+    del doctored[dropped]
+    synthetic.append(f"{dropped} (dropped)")
+
+    findings = compare_payloads(bench, baseline, doctored)
+    caught = {f.metric for f in findings if f.failed}
+    expected = {m.split(" ")[0] for m in synthetic}
+    missed = expected - caught
+    if missed:
+        print(f"self-test: synthetic regressions NOT caught: {sorted(missed)}")
+        return 1
+    print(
+        f"self-test OK: clean trajectory passes; {len(expected)} synthetic "
+        f"regression(s) in BENCH_{bench} all rejected "
+        f"({', '.join(sorted(expected))})"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list-benches", action="store_true",
+                        help="print the trajectory-derived perf bench list and exit")
+    parser.add_argument("--baseline", type=Path,
+                        help="directory holding the committed trajectory")
+    parser.add_argument("--current", type=Path,
+                        help="directory holding the freshly produced results")
+    parser.add_argument("--json", type=Path, help="write findings as JSON here")
+    parser.add_argument("--markdown", type=Path, help="write the report here")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify a synthetic regression is rejected")
+    args = parser.parse_args(argv)
+
+    if args.list_benches:
+        print(" ".join(str(b.relative_to(REPO_ROOT)) for b in guarded_benches()))
+        return 0
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required for a diff")
+
+    findings = compare_dirs(args.baseline, args.current)
+    regressions = [f for f in findings if f.failed]
+    if args.json:
+        args.json.write_text(
+            json.dumps(
+                [f.__dict__ for f in findings], indent=2, sort_keys=True
+            )
+            + "\n"
+        )
+    if args.markdown:
+        args.markdown.write_text(render_markdown(findings))
+    for finding in findings:
+        if finding.kind != "ok":
+            print(f"{finding.kind}: {finding.bench}.{finding.metric} — {finding.detail}")
+    print(
+        f"bench-trajectory: {len(regressions)} regression(s), "
+        f"{len(findings)} comparison(s)"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ them from the command line::
 
 IDs: didactic, fig8a, fig8b, fig8c, fig9a, fig9b, fig9c, section54,
 section62, table1, theorem41, theorem42, ipv6, comparison, mfcguard,
-pmdsweep, backendsweep.
+pmdsweep, backendsweep, cloudsweep.
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ from typing import Callable
 
 from repro.experiments import (
     backendsweep,
+    cloudsweep,
     comparison,
     didactic,
     fig8a,
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "mfcguard": mfcguard.run,
     "pmdsweep": pmdsweep.run,
     "backendsweep": backendsweep.run,
+    "cloudsweep": cloudsweep.run,
 }
 
 

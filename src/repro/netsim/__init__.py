@@ -20,15 +20,22 @@ from repro.netsim.cms import (
     PolicyRule,
 )
 from repro.netsim.engine import SimComponent, Simulation
+from repro.netsim.fleet import Fleet, FleetHost, Rack, TenantBlock, TenantStream
 from repro.netsim.flows import ActiveWindow, AttackSource, RandomFloodSource, VictimFlow
 from repro.netsim.hypervisor import HypervisorHost, QuirkConfig, VictimState
-from repro.netsim.metrics import MetricsCollector, TimeSeries
+from repro.netsim.metrics import MetricsCollector, TimeSeries, quantile
 
 __all__ = [
     "Simulation",
     "SimComponent",
     "MetricsCollector",
     "TimeSeries",
+    "quantile",
+    "Fleet",
+    "FleetHost",
+    "Rack",
+    "TenantBlock",
+    "TenantStream",
     "HypervisorHost",
     "QuirkConfig",
     "VictimState",

@@ -9,6 +9,11 @@ every co-located tenant's traffic must scan.
 Environment presets capture the three testbeds of Table 1 (synthetic,
 OpenStack, Kubernetes) with their link speeds, calibrated cost curves, CMS
 backends and behavioural quirks.
+
+This module models a *single rack's worth* of explicitly-constructed
+tenants.  For fleet-scale runs — hundreds of hosts, millions of tenants
+streamed from seeded generators and settled columnarly — see
+:mod:`repro.netsim.fleet`, which builds on the same environment presets.
 """
 
 from __future__ import annotations

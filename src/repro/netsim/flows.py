@@ -105,6 +105,10 @@ class AttackSource:
         windows: activity intervals; always active when empty.
         name: label for metrics.
         batch_size: packets per injected batch (OVS-like 32 by default).
+        period: event-mode tick cadence in seconds (``Simulation.add``
+            honours the attribute); the fractional-packet carry keeps the
+            injected rate exact at any cadence.  ``None`` ticks at the
+            base ``dt``.
     """
 
     def __init__(
@@ -117,6 +121,7 @@ class AttackSource:
         loop: bool = True,
         key_stream: Iterator[FlowKey] | None = None,
         batch_size: int = 32,
+        period: float | None = None,
     ):
         if pps < 0:
             raise SimulationError(f"pps must be >= 0, got {pps}")
@@ -127,6 +132,7 @@ class AttackSource:
         self.windows = tuple(windows)
         self.name = name
         self.batch_size = batch_size
+        self.period = period
         if key_stream is not None:
             self._iter: Iterator[FlowKey] = key_stream
         else:
@@ -211,6 +217,9 @@ class VictimFlow:
         kind: ``"tcp"`` (ramping, drop-sensitive) or ``"udp"`` (CBR).
         windows: activity intervals.
         ramp_tau: TCP exponential-ramp time constant (seconds).
+        period: event-mode tick cadence in seconds (keepalives need not
+            run at the base ``dt``; the cache entries stay warm at any
+            cadence below the idle timeout).  ``None`` ticks at ``dt``.
     """
 
     def __init__(
@@ -222,6 +231,7 @@ class VictimFlow:
         kind: str = "tcp",
         windows: Sequence[ActiveWindow] = (),
         ramp_tau: float = 2.0,
+        period: float | None = None,
     ):
         if kind not in ("tcp", "udp"):
             raise SimulationError(f"unknown flow kind {kind!r}")
@@ -233,6 +243,7 @@ class VictimFlow:
         self.offered_gbps = offered_gbps
         self.windows = tuple(windows)
         self.ramp_tau = ramp_tau
+        self.period = period
         self.rate_gbps = 0.0
         self._was_active = False
         host.register_victim(name, tuple(keys))

@@ -32,6 +32,12 @@ The victim traffic itself is *not* simulated packet-by-packet (hundreds of
 thousands of pps); a few keepalive packets per tick keep the victims' cache
 entries genuine while their rate is computed analytically — the hybrid the
 DESIGN.md substitution table documents.
+
+The settlement arithmetic itself lives in :mod:`repro.netsim.settlement`:
+the numpy ``settle_rates`` kernel is the pricing reference shared with the
+fleet layer (:mod:`repro.netsim.fleet`), pricing every victim of a host —
+or every tenant of a rack — in one array pass, with the original scalar
+loop retained there as the differential-test reference.
 """
 
 from __future__ import annotations
@@ -39,9 +45,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.classifier.tss import MegaflowEntry
 from repro.core.mitigation import MFCGuard
 from repro.exceptions import SimulationError
+from repro.netsim import settlement
 from repro.packet.fields import FlowKey
 from repro.switch.costmodel import CostModel
 from repro.switch.datapath import PacketVerdict, PathTaken
@@ -103,6 +112,11 @@ class HypervisorHost:
         quirks: environment-specific behaviours.
         guard: optional MFCGuard instance (mitigation experiments).
         revalidator_period: seconds between idle-eviction sweeps.
+        settlement_mode: ``"vector"`` (default — the numpy one-pass
+            kernel) or ``"scalar"`` (the original per-victim loop, the
+            differential-test reference).  The two are float-identical by
+            invariant (``tests/test_settlement.py``), so this knob only
+            decides wall-clock cost, never results.
     """
 
     def __init__(
@@ -112,11 +126,13 @@ class HypervisorHost:
         quirks: QuirkConfig | None = None,
         guard: MFCGuard | None = None,
         revalidator_period: float = 1.0,
+        settlement_mode: str = "vector",
     ):
         self.datapath = datapath
         self.cost_model = cost_model
         self.quirks = quirks or QuirkConfig()
         self.guard = guard
+        self.settlement_mode = settlement.check_settlement_mode(settlement_mode)
         self.revalidator = Revalidator(datapath, period=revalidator_period)
         self.victims: dict[str, VictimState] = {}
         self.n_cores = datapath.n_shards
@@ -146,22 +162,13 @@ class HypervisorHost:
 
         The charge is the shard's expected scan cost *before* the packet,
         in the backend's normalised probe units — for TSS exactly the old
-        ``max(n_masks, 1)`` mask-count charge.
+        ``max(n_masks, 1)`` mask-count charge.  A single-packet batch:
+        delegates to :meth:`inject_attack_batch`, whose per-shard charge
+        path is the one copy of the accounting (batch ≡ sequential per
+        the datapath invariant, and ``attack_units_batch`` over one cost
+        is float-identical to the single-packet formula).
         """
-        shard_id = self.datapath.shard_of(key)
-        shard = self.datapath.shards[shard_id]
-        scan_cost_before = shard.megaflows.expected_scan_cost()
-        verdict = shard.process(key, now=now)
-        upcall = verdict.is_upcall
-        if verdict.path is PathTaken.MASK_CACHE:
-            cost = 1.0  # single-table probe
-        else:
-            cost = self.cost_model.attack_cost_units_probes(scan_cost_before, upcall=upcall)
-        self._attack_units[shard_id] += cost
-        if upcall:
-            self._upcalls += 1
-            self._slow_path_packets += 1
-        return verdict
+        return self.inject_attack_batch([key], now)[0]
 
     def inject_attack_batch(self, keys: Sequence[FlowKey], now: float) -> list[PacketVerdict]:
         """Classify one batch of attack packets; account the batch's cost.
@@ -235,6 +242,12 @@ class HypervisorHost:
 
     def tick(self, now: float, dt: float) -> None:
         """Run maintenance, settle per-core CPU accounting, assign victim capacity."""
+        reports, available = self._pre_settle(now, dt)
+        self._settle_victims(now, reports, available)
+        self._post_settle(dt)
+
+    def _pre_settle(self, now: float, dt: float):
+        """Maintenance + per-core budget accounting; returns (reports, available)."""
         evicted = self.revalidator.tick(now)
         self._revalidated_entries += len(evicted)
         if self.guard is not None:
@@ -268,50 +281,81 @@ class HypervisorHost:
             min(1.0, c / budget) if budget else 1.0 for c in consumed
         ]
         available = [max(0.0, budget - c) for c in consumed]
+        return reports, available
 
-        # Victim protection state tracks the victim's own cores' mask load
-        # (the mask-memo quirk is a *mask-count* behaviour: the kernel memo
-        # is per mask, so calm/attacked is judged on masks, not probes).
+    def _settle_victims(self, now, reports, available) -> None:
+        """Protection update + equal-split settlement for this host's victims.
+
+        Victim protection state tracks the victim's own cores' mask load
+        (the mask-memo quirk is a *mask-count* behaviour: the kernel memo
+        is per mask, so calm/attacked is judged on masks, not probes).
+        Then each core's remaining budget is split equally across the
+        active victims RSS pinned there; a victim spanning several cores
+        (e.g. forward + reverse keys hashed apart) sums its per-core
+        shares, each priced at the *owning core's* expected scan cost in
+        the backend's normalised probe units (≡ mask count for TSS).
+        """
         active = [state for state in self.victims.values() if state.active]
-        for state in active:
-            masks = max(max(reports[s].n_masks for s in state.home_shards), 1)
-            self._update_protection(state, now, masks)
+        if not active:
+            return
+        masks = np.empty(len(active), dtype=np.int64)
+        calm_since = np.empty(len(active), dtype=np.float64)
+        protected = np.empty(len(active), dtype=bool)
+        for idx, state in enumerate(active):
+            masks[idx] = max(max(reports[s].n_masks for s in state.home_shards), 1)
+            calm_since[idx] = np.nan if state.calm_since is None else state.calm_since
+            protected[idx] = state.protected
+        pair_victim: list[int] = []
+        pair_core: list[int] = []
+        for idx, state in enumerate(active):
+            for s in state.home_shards:
+                pair_victim.append(idx)
+                pair_core.append(s)
+        link_cap = self.cost_model.link_gbps / len(active)
 
-        # Equal split of each core's remaining budget across the active
-        # victims RSS pinned there; a victim spanning several cores (e.g.
-        # forward + reverse keys hashed apart) sums its per-core shares.
-        # Each share is priced at the *owning core's* expected scan cost in
-        # the backend's normalised probe units (≡ mask count for TSS).
-        if active:
-            victims_on_core = [0] * len(reports)
-            for state in active:
-                for s in state.home_shards:
-                    victims_on_core[s] += 1
-            for state in active:
-                units_per_sec = 0.0
-                for s in state.home_shards:
-                    share = available[s] / victims_on_core[s]
-                    cost = self._victim_unit_cost(state, reports[s].scan_cost)
-                    units_per_sec += share / cost
-                gbps = units_per_sec * self.cost_model.unit_bits / 1e9
-                state.assigned_gbps = min(self.cost_model.link_gbps / len(active), gbps)
+        if self.settlement_mode == "vector":
+            settlement.update_protection(now, masks, calm_since, protected, self.quirks)
+            core = settlement.core_costs(reports, available, self.cost_model, self.quirks)
+            assigned = settlement.settle_rates(
+                core,
+                np.asarray(pair_victim, dtype=np.intp),
+                np.asarray(pair_core, dtype=np.intp),
+                protected,
+                len(active),
+                link_cap,
+                self.cost_model.unit_bits,
+            )
+        else:
+            calm_list = calm_since.tolist()
+            prot_list = protected.tolist()
+            settlement.update_protection_scalar(
+                now, masks.tolist(), calm_list, prot_list, self.quirks
+            )
+            calm_since = np.asarray(calm_list, dtype=np.float64)
+            protected = np.asarray(prot_list, dtype=bool)
+            assigned = settlement.settle_rates_scalar(
+                [report.scan_cost for report in reports],
+                available,
+                pair_victim,
+                pair_core,
+                prot_list,
+                len(active),
+                link_cap,
+                self.cost_model,
+                self.quirks,
+            )
 
+        for idx, state in enumerate(active):
+            state.protected = bool(protected[idx])
+            state.calm_since = None if np.isnan(calm_since[idx]) else float(calm_since[idx])
+            state.assigned_gbps = float(assigned[idx])
+
+    def _post_settle(self, dt: float) -> None:
+        """Publish per-tick observables and reset the work accumulators."""
         self.upcall_pps = self._upcalls / dt
         self._attack_units = [0.0] * self.n_cores
         self._upcalls = 0
         self._slow_path_packets = 0
-
-    def _update_protection(self, state: VictimState, now: float, masks: int) -> None:
-        if not self.quirks.established_flow_protection:
-            state.protected = False
-            return
-        if masks <= self.quirks.establish_mask_ceiling:
-            if state.calm_since is None:
-                state.calm_since = now
-            if now - state.calm_since >= self.quirks.establish_seconds:
-                state.protected = True  # memo earned; retained until flow stops
-        else:
-            state.calm_since = None
 
     # -- queries ---------------------------------------------------------------------
     def victim_rate(self, name: str) -> float:

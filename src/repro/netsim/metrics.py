@@ -7,7 +7,7 @@ from typing import Iterator
 
 from repro.exceptions import SimulationError
 
-__all__ = ["TimeSeries", "MetricsCollector"]
+__all__ = ["TimeSeries", "MetricsCollector", "quantile"]
 
 
 @dataclass
@@ -60,6 +60,35 @@ class TimeSeries:
         if not window:
             raise SimulationError(f"{self.name}: no samples in [{start}, {stop})")
         return max(window)
+
+    def percentile(
+        self,
+        q: float,
+        start: float = float("-inf"),
+        stop: float = float("inf"),
+    ) -> float:
+        """The ``q``-th percentile (0..100) over samples with start <= t < stop."""
+        window = [v for t, v in self if start <= t < stop]
+        if not window:
+            raise SimulationError(f"{self.name}: no samples in [{start}, {stop})")
+        return quantile(window, q)
+
+
+def quantile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default), 0 <= q <= 100.
+
+    Shared by :meth:`TimeSeries.percentile` and the fleet readouts, which
+    compute p50/p99 over per-tenant floors rather than over time.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise SimulationError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        raise SimulationError("percentile of an empty window")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
 
 
 class MetricsCollector:

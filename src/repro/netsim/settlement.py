@@ -1,0 +1,258 @@
+"""Vectorised per-tick victim settlement — the fleet-scale pricing kernel.
+
+This module is the one place victim capacity is priced.  It extracts the
+per-victim accounting that used to live inline in
+:meth:`repro.netsim.hypervisor.HypervisorHost.tick` — equal split of each
+core's remaining budget across the active victims RSS pinned there, each
+share priced at the owning core's expected scan cost in normalised probe
+units, mask-memo protection mix applied, clamped by the victim's link
+share — and states it twice:
+
+* :func:`settle_rates` is the numpy implementation: *all* tenants of a
+  host (and, via concatenated core/tenant columns with per-host offsets,
+  all hosts of a rack) are priced in one array pass.  This is what every
+  settlement runs through by default.
+* :func:`settle_rates_scalar` is the original per-victim Python loop,
+  retained verbatim as the differential-test reference.  It evaluates the
+  calibrated cost curve per victim-core pair exactly as the historical
+  ``HypervisorHost.tick`` did; ``tests/test_settlement.py`` asserts the
+  two are float-for-float identical across environments, shard counts and
+  victim placements, which is what keeps every Table 1 / Fig 8-9 preset
+  byte-identical under the vectorised path.
+
+The same split applies to the mask-memo protection state machine
+(:func:`update_protection` / :func:`update_protection_scalar`): calm /
+attacked is judged on *mask counts* (the kernel memo is per mask), never
+on probe units.
+
+Victim-core membership is expressed as flat pair columns
+(``pair_victim[i]`` is priced on core ``pair_core[i]``); a victim spanning
+several cores (forward + reverse keys hashed apart) contributes several
+pairs and sums its per-core shares.  Summation runs through
+``np.bincount``, which accumulates sequentially in pair order — the same
+float addition order as the scalar loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.hypervisor import QuirkConfig
+    from repro.switch.costmodel import CostModel
+    from repro.switch.datapath import CoreReport
+
+__all__ = [
+    "CoreCosts",
+    "core_costs",
+    "settle_rates",
+    "settle_rates_scalar",
+    "update_protection",
+    "update_protection_scalar",
+    "check_settlement_mode",
+    "SETTLEMENT_MODES",
+]
+
+SETTLEMENT_MODES = ("vector", "scalar")
+
+
+@dataclass(frozen=True)
+class CoreCosts:
+    """Marshalled per-core pricing inputs for one settlement pass.
+
+    One entry per PMD core; for a rack-wide pass, the per-host core arrays
+    are concatenated and tenant pair columns carry per-host core offsets
+    (cores are never shared between hosts, so the concatenated pass is
+    exactly the per-host passes run back to back).
+
+    Attributes:
+        available: remaining fast-path budget (units/second) after attack
+            and revalidation charges.
+        scan_units: victim per-unit cost at the core's expected full-scan
+            cost (the calibrated curve, evaluated once per core).
+        protected_units: per-unit cost under the mask-memo protection mix
+            (``(1-chi)*1 + chi*scan_units``).
+        n_masks: installed distinct-mask count (drives the protection
+            quirk, never pricing).
+    """
+
+    available: np.ndarray
+    scan_units: np.ndarray
+    protected_units: np.ndarray
+    n_masks: np.ndarray
+
+
+def core_costs(
+    reports: "Sequence[CoreReport]",
+    available: Sequence[float],
+    cost_model: "CostModel",
+    quirks: "QuirkConfig",
+) -> CoreCosts:
+    """Build the per-core pricing arrays from one tick's core reports.
+
+    The calibrated relative-cost curve is evaluated once per core — the
+    scalar reference evaluates it once per victim-core pair, with the same
+    scan cost, so the values are identical floats; hoisting it is where
+    the vectorised pass stops paying the curve per tenant.
+    """
+    n = len(reports)
+    scan_units = np.empty(n, dtype=np.float64)
+    protected_units = np.empty(n, dtype=np.float64)
+    n_masks = np.empty(n, dtype=np.int64)
+    chi = quirks.collision_rate
+    for i, report in enumerate(reports):
+        units = cost_model.victim_cost_units_probes(report.scan_cost)
+        scan_units[i] = units
+        protected_units[i] = (1.0 - chi) * 1.0 + chi * units
+        n_masks[i] = report.n_masks
+    return CoreCosts(
+        available=np.asarray(available, dtype=np.float64),
+        scan_units=scan_units,
+        protected_units=protected_units,
+        n_masks=n_masks,
+    )
+
+
+def settle_rates(
+    core: CoreCosts,
+    pair_victim: np.ndarray,
+    pair_core: np.ndarray,
+    protected: np.ndarray,
+    n_victims: int,
+    link_cap: float | np.ndarray,
+    unit_bits: float,
+) -> np.ndarray:
+    """Price every victim in one array pass; returns assigned Gbps.
+
+    Args:
+        core: per-core pricing arrays (possibly rack-concatenated).
+        pair_victim / pair_core: flat victim-core membership columns.
+        protected: per-victim mask-memo protection flags.
+        n_victims: number of (active) victims being settled.
+        link_cap: per-victim wire-share clamp — a scalar for one host
+            (``link_gbps / n_active``) or a per-victim array for a
+            rack-wide pass over hosts with their own links.
+        unit_bits: bits moved per classified unit.
+    """
+    victims_on_core = np.bincount(pair_core, minlength=len(core.available))
+    share = core.available[pair_core] / victims_on_core[pair_core]
+    cost = np.where(
+        protected[pair_victim],
+        core.protected_units[pair_core],
+        core.scan_units[pair_core],
+    )
+    units_per_sec = np.bincount(
+        pair_victim, weights=share / cost, minlength=n_victims
+    )
+    gbps = units_per_sec * unit_bits / 1e9
+    return np.minimum(link_cap, gbps)
+
+
+def settle_rates_scalar(
+    scan_cost: Sequence[float],
+    available: Sequence[float],
+    pair_victim: Sequence[int],
+    pair_core: Sequence[int],
+    protected: Sequence[bool],
+    n_victims: int,
+    link_cap: float | Sequence[float],
+    cost_model: "CostModel",
+    quirks: "QuirkConfig",
+) -> list[float]:
+    """The original per-victim settlement loop (differential reference).
+
+    Mirrors the historical ``HypervisorHost.tick`` accounting operation
+    for operation — per-pair curve evaluation included — so the vectorised
+    pass can be differential-tested (and benchmarked) against it.
+    """
+    victims_on_core = [0] * len(available)
+    for s in pair_core:
+        victims_on_core[s] += 1
+    caps = (
+        [link_cap] * n_victims
+        if isinstance(link_cap, (int, float))
+        else list(link_cap)
+    )
+    chi = quirks.collision_rate
+    units_per_sec = [0.0] * n_victims
+    for v, s in zip(pair_victim, pair_core):
+        share = available[s] / victims_on_core[s]
+        scan_units = cost_model.victim_cost_units_probes(scan_cost[s])
+        if protected[v]:
+            cheap = 1.0
+            cost = (1.0 - chi) * cheap + chi * scan_units
+        else:
+            cost = scan_units
+        units_per_sec[v] += share / cost
+    unit_bits = cost_model.unit_bits
+    return [
+        min(caps[v], units_per_sec[v] * unit_bits / 1e9)
+        for v in range(n_victims)
+    ]
+
+
+def update_protection(
+    now: float,
+    masks: np.ndarray,
+    calm_since: np.ndarray,
+    protected: np.ndarray,
+    quirks: "QuirkConfig",
+) -> None:
+    """Vectorised mask-memo protection update (arrays mutated in place).
+
+    ``masks`` is each victim's home-core mask count (max over its home
+    shards, floored at 1); ``calm_since`` uses ``nan`` for "not calm".
+    Exactly the scalar state machine, applied columnwise: a victim earns
+    its memo after ``establish_seconds`` of continuous calm (mask count at
+    or below the ceiling) and keeps it until the flow stops.
+    """
+    if not quirks.established_flow_protection:
+        protected[:] = False
+        return
+    calm = masks <= quirks.establish_mask_ceiling
+    newly_calm = calm & np.isnan(calm_since)
+    calm_since[newly_calm] = now
+    earned = calm & (now - calm_since >= quirks.establish_seconds)
+    protected[earned] = True
+    calm_since[~calm] = np.nan
+
+
+def update_protection_scalar(
+    now: float,
+    masks: Sequence[int],
+    calm_since: list[float],
+    protected: list[bool],
+    quirks: "QuirkConfig",
+) -> None:
+    """The original per-victim protection state machine (reference).
+
+    Operates on the same column convention as :func:`update_protection`
+    (``nan`` for "not calm") so the two can be differential-tested on
+    identical inputs.
+    """
+    if not quirks.established_flow_protection:
+        for v in range(len(protected)):
+            protected[v] = False
+        return
+    for v, m in enumerate(masks):
+        if m <= quirks.establish_mask_ceiling:
+            if np.isnan(calm_since[v]):
+                calm_since[v] = now
+            if now - calm_since[v] >= quirks.establish_seconds:
+                protected[v] = True
+        else:
+            calm_since[v] = float("nan")
+
+
+def check_settlement_mode(mode: str) -> str:
+    """Validate a settlement-mode knob (``"vector"`` or ``"scalar"``)."""
+    if mode not in SETTLEMENT_MODES:
+        raise SimulationError(
+            f"unknown settlement mode {mode!r}; expected one of {SETTLEMENT_MODES}"
+        )
+    return mode

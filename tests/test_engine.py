@@ -1,6 +1,7 @@
 """Unit tests for the simulation engine and metrics."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import SimulationError
 from repro.netsim.engine import Simulation
@@ -104,11 +105,179 @@ class TestSimulation:
     def test_validation(self):
         with pytest.raises(SimulationError):
             Simulation(dt=0)
+        with pytest.raises(SimulationError):
+            Simulation(mode="adaptive")
         sim = Simulation()
         with pytest.raises(SimulationError):
             sim.run(-1)
         with pytest.raises(SimulationError):
             sim.add(object())
+        with pytest.raises(SimulationError):
+            sim.add(Recorder(), period=0.0)
+
+    def test_observe_rejects_non_callable(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError, match="not callable"):
+            sim.observe("sample_me")
+        with pytest.raises(SimulationError, match="not callable"):
+            sim.observe(None)
+
+
+class TestEventMode:
+    def test_components_tick_at_their_period(self):
+        sim = Simulation(dt=0.1, mode="event")
+        fast, slow = Recorder(), Recorder()
+        sim.add(fast, period=0.1)
+        sim.add(slow, period=0.5)
+        sim.run(1.0)
+        assert [t for t, _ in fast.ticks] == [round(i * 0.1, 6) for i in range(10)]
+        assert [t for t, _ in slow.ticks] == [0.0, 0.5]
+        # Each component receives the time elapsed since *its* last tick.
+        assert all(dt == pytest.approx(0.1) for _, dt in fast.ticks)
+        assert all(dt == pytest.approx(0.5) for _, dt in slow.ticks)
+
+    def test_period_attribute_honoured(self):
+        class Periodic(Recorder):
+            period = 0.4
+
+        sim = Simulation(dt=0.1, mode="event")
+        component = Periodic()
+        sim.add(component)
+        sim.run(1.0)
+        assert [t for t, _ in component.ticks] == [0.0, 0.4, 0.8]
+
+    def test_registration_order_at_coincident_ticks(self):
+        """Periods are tick-quantised: a 0.2s and a 0.1s component meet
+        exactly every other tick, in registration order."""
+        sim = Simulation(dt=0.1, mode="event")
+        order = []
+
+        class Tagged:
+            def __init__(self, tag, period):
+                self.tag = tag
+                self.period = period
+
+            def tick(self, now, dt):
+                order.append((self.tag, round(now, 6)))
+
+        sim.add(Tagged("b", 0.2))
+        sim.add(Tagged("a", 0.1))
+        sim.run(0.4)
+        assert order == [
+            ("b", 0.0), ("a", 0.0), ("a", 0.1), ("b", 0.2), ("a", 0.2), ("a", 0.3),
+        ]
+
+    def test_observers_after_each_event_batch(self):
+        sim = Simulation(dt=0.1, mode="event")
+        events = []
+
+        class Component:
+            period = 0.3
+
+            def tick(self, now, dt):
+                events.append(("tick", round(now, 6)))
+
+        sim.add(Component())
+        sim.observe(lambda now: events.append(("observe", round(now, 6))))
+        sim.run(0.7)
+        assert events == [
+            ("tick", 0.0), ("observe", 0.0),
+            ("tick", 0.3), ("observe", 0.3),
+            ("tick", 0.6), ("observe", 0.6),
+        ]
+
+    def test_event_equals_fixed_when_everything_ticks_every_dt(self):
+        runs = {}
+        for mode in ("fixed", "event"):
+            sim = Simulation(dt=0.1, mode=mode)
+            recorder = Recorder()
+            sim.add(recorder)
+            sim.run(2.0)
+            runs[mode] = recorder.ticks
+        assert runs["fixed"] == runs["event"]
+
+    def test_resumable_across_runs(self):
+        sim = Simulation(dt=0.1, mode="event")
+        slow = Recorder()
+        sim.add(slow, period=0.3)
+        sim.run(0.4)  # ticks at 0.0, 0.3
+        sim.run(0.4)  # ticks at 0.6
+        assert [t for t, _ in slow.ticks] == [0.0, 0.3, 0.6]
+        assert sim.now == 8 * 0.1
+
+
+class TestLongRunContracts:
+    def test_million_ticks_drift_free(self):
+        """Over 10^6 ticks every timestamp is exactly start + i*dt."""
+
+        class Checker:
+            def __init__(self, dt):
+                self.dt = dt
+                self.count = 0
+
+            def tick(self, now, dt):
+                # Bit-exact derived timestamp — never accumulated.
+                assert now == self.count * self.dt
+                self.count += 1
+
+        sim = Simulation(dt=0.1)
+        checker = Checker(0.1)
+        sim.add(checker)
+        sim.run(100_000.0)  # 10^6 ticks
+        assert checker.count == 1_000_000
+        assert sim.now == 1_000_000 * 0.1
+
+    @given(
+        a=st.integers(min_value=0, max_value=400),
+        b=st.integers(min_value=0, max_value=400),
+        dt=st.sampled_from([0.1, 0.25, 0.5, 1.0, 1 / 3]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_split_run_equals_joined_run_fixed(self, a, b, dt):
+        """run(a); run(b) ≡ run(a+b), tick for tick (durations on the grid)."""
+        split_sim = Simulation(dt=dt)
+        split = Recorder()
+        split_sim.add(split)
+        split_sim.run(a * dt)
+        split_sim.run(b * dt)
+
+        joined_sim = Simulation(dt=dt)
+        joined = Recorder()
+        joined_sim.add(joined)
+        joined_sim.run((a + b) * dt)
+
+        assert split.ticks == joined.ticks
+        assert split_sim.now == joined_sim.now
+
+    @given(
+        a=st.integers(min_value=0, max_value=200),
+        b=st.integers(min_value=0, max_value=200),
+        periods=st.lists(
+            st.integers(min_value=1, max_value=7), min_size=1, max_size=4
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_split_run_equals_joined_run_event(self, a, b, periods):
+        dt = 0.1
+
+        def build():
+            sim = Simulation(dt=dt, mode="event")
+            recorders = []
+            for ticks in periods:
+                recorder = Recorder()
+                sim.add(recorder, period=ticks * dt)
+                recorders.append(recorder)
+            return sim, recorders
+
+        split_sim, split = build()
+        split_sim.run(a * dt)
+        split_sim.run(b * dt)
+        joined_sim, joined = build()
+        joined_sim.run((a + b) * dt)
+
+        for split_recorder, joined_recorder in zip(split, joined):
+            assert split_recorder.ticks == joined_recorder.ticks
+        assert split_sim.now == joined_sim.now
 
 
 class TestTimeSeries:
@@ -141,6 +310,20 @@ class TestTimeSeries:
         series = TimeSeries("x")
         series.record(0.0, 1.0)
         assert list(series) == [(0.0, 1.0)]
+
+    def test_percentile(self):
+        series = TimeSeries("x")
+        for t in range(11):
+            series.record(float(t), float(t))
+        assert series.percentile(0.0) == 0.0
+        assert series.percentile(50.0) == 5.0
+        assert series.percentile(100.0) == 10.0
+        assert series.percentile(25.0) == 2.5
+        assert series.percentile(50.0, start=5.0) == 7.5
+        with pytest.raises(SimulationError, match="percentile"):
+            series.percentile(101.0)
+        with pytest.raises(SimulationError):
+            series.percentile(50.0, start=100.0)
 
 
 class TestMetricsCollector:

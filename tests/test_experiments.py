@@ -29,10 +29,11 @@ from repro.exceptions import ExperimentError
 
 
 class TestRegistry:
-    def test_all_eighteen_experiments(self):
-        assert len(EXPERIMENTS) == 18
+    def test_all_nineteen_experiments(self):
+        assert len(EXPERIMENTS) == 19
         assert "pmdsweep" in EXPERIMENTS
         assert "backendsweep" in EXPERIMENTS
+        assert "cloudsweep" in EXPERIMENTS
 
     def test_run_by_id(self):
         result = run_experiment("table1")

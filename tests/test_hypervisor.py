@@ -14,10 +14,17 @@ from repro.switch.datapath import Datapath, DatapathConfig
 VICTIM_KEY = FlowKey(ip_proto=PROTO_TCP, ip_src=5, tp_src=52000, tp_dst=80)
 
 
-def make_host(quirks: QuirkConfig | None = None) -> HypervisorHost:
+def make_host(
+    quirks: QuirkConfig | None = None, settlement_mode: str = "vector"
+) -> HypervisorHost:
     table = SIPDP.build_table()
     datapath = Datapath(table, DatapathConfig(microflow_capacity=0))
-    return HypervisorHost(datapath, SYNTHETIC_ENV.cost_model, quirks=quirks)
+    return HypervisorHost(
+        datapath,
+        SYNTHETIC_ENV.cost_model,
+        quirks=quirks,
+        settlement_mode=settlement_mode,
+    )
 
 
 def run_attack(host: HypervisorHost, now: float) -> int:
@@ -137,6 +144,31 @@ class TestProtectionQuirk:
         host.tick(3.1, 0.1)
         # Mask-memo keeps the established flow near full rate (~10% dip).
         assert host.victim_rate("v") > 7.0
+
+
+class TestSettlementModes:
+    @pytest.mark.parametrize("mode", ["vector", "scalar"])
+    def test_attack_bites_in_both_modes(self, mode):
+        host = make_host(settlement_mode=mode)
+        host.register_victim("v", (VICTIM_KEY,))
+        host.victim_started("v", 0.0)
+        host.tick(0.0, 0.1)
+        baseline = host.victim_rate("v")
+        run_attack(host, now=1.0)
+        host.tick(1.0, 0.1)
+        assert host.victim_rate("v") < 0.1 * baseline
+
+    def test_modes_agree_exactly(self):
+        rates = {}
+        for mode in ("vector", "scalar"):
+            host = make_host(settlement_mode=mode)
+            host.register_victim("v", (VICTIM_KEY,))
+            host.victim_started("v", 0.0)
+            run_attack(host, now=0.0)
+            for tick in range(20):
+                host.tick(tick * 0.1, 0.1)
+            rates[mode] = host.victim_rate("v")
+        assert rates["vector"] == rates["scalar"]
 
 
 class TestRevalidatorIntegration:

@@ -1,0 +1,224 @@
+"""Differential tests: vectorised settlement ≡ the scalar reference.
+
+The invariant every Table 1 / Fig 8-9 preset rides on: the numpy
+settlement kernel (`settle_rates`, `update_protection`) must produce
+*float-identical* results to the original per-victim Python loops
+retained in :mod:`repro.netsim.settlement` — same arithmetic, same
+accumulation order, bit for bit, across environments, shard counts and
+victim placements.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tracegen import ColocatedTraceGenerator
+from repro.core.usecases import SIPDP
+from repro.exceptions import SimulationError
+from repro.netsim import settlement
+from repro.netsim.cloud import KUBERNETES_ENV, OPENSTACK_ENV, SYNTHETIC_ENV
+from repro.netsim.hypervisor import HypervisorHost, QuirkConfig
+from repro.packet.fields import FlowKey
+from repro.packet.headers import PROTO_TCP
+from repro.switch.datapath import CoreReport, Datapath, DatapathConfig
+
+ENVS = {
+    "synthetic": SYNTHETIC_ENV,
+    "openstack": OPENSTACK_ENV,
+    "kubernetes": KUBERNETES_ENV,
+}
+
+QUIRK_VARIANTS = (
+    QuirkConfig(),
+    QuirkConfig(established_flow_protection=True, establish_seconds=2.0),
+    QuirkConfig(
+        established_flow_protection=True,
+        establish_seconds=1.0,
+        establish_mask_ceiling=8,
+        collision_rate=0.02,
+    ),
+)
+
+
+@st.composite
+def settlement_cases(draw):
+    """A random (cores, victims, placement, protection) settlement input."""
+    n_cores = draw(st.integers(min_value=1, max_value=4))
+    n_victims = draw(st.integers(min_value=1, max_value=16))
+    scan_cost = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=9000.0, allow_nan=False),
+            min_size=n_cores,
+            max_size=n_cores,
+        )
+    )
+    available = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2e7, allow_nan=False),
+            min_size=n_cores,
+            max_size=n_cores,
+        )
+    )
+    # Each victim sits on a non-empty, sorted subset of cores (home_shards).
+    placements = [
+        tuple(
+            sorted(
+                draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=n_cores - 1),
+                        min_size=1,
+                        max_size=n_cores,
+                    )
+                )
+            )
+        )
+        for _ in range(n_victims)
+    ]
+    protected = draw(
+        st.lists(st.booleans(), min_size=n_victims, max_size=n_victims)
+    )
+    return n_cores, n_victims, scan_cost, available, placements, protected
+
+
+@pytest.mark.parametrize("env_name", sorted(ENVS))
+@pytest.mark.parametrize("quirk_index", range(len(QUIRK_VARIANTS)))
+@given(case=settlement_cases())
+@settings(max_examples=40, deadline=None)
+def test_settle_rates_matches_scalar(env_name, quirk_index, case):
+    """settle_rates ≡ settle_rates_scalar, float for float."""
+    n_cores, n_victims, scan_cost, available, placements, protected = case
+    cost_model = ENVS[env_name].cost_model
+    quirks = QUIRK_VARIANTS[quirk_index]
+    pair_victim = [v for v, homes in enumerate(placements) for _ in homes]
+    pair_core = [s for homes in placements for s in homes]
+    link_cap = cost_model.link_gbps / n_victims
+
+    reports = [
+        CoreReport(n_masks=int(c), n_megaflows=0, scan_cost=c) for c in scan_cost
+    ]
+    core = settlement.core_costs(reports, available, cost_model, quirks)
+    vector = settlement.settle_rates(
+        core,
+        np.asarray(pair_victim, dtype=np.intp),
+        np.asarray(pair_core, dtype=np.intp),
+        np.asarray(protected, dtype=bool),
+        n_victims,
+        link_cap,
+        cost_model.unit_bits,
+    )
+    scalar = settlement.settle_rates_scalar(
+        scan_cost,
+        available,
+        pair_victim,
+        pair_core,
+        protected,
+        n_victims,
+        link_cap,
+        cost_model,
+        quirks,
+    )
+    assert vector.tolist() == scalar
+
+
+@given(
+    n=st.integers(min_value=1, max_value=32),
+    now=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_update_protection_matches_scalar(n, now, data):
+    """The columnwise protection state machine ≡ the per-victim one."""
+    quirks = QUIRK_VARIANTS[data.draw(st.integers(0, len(QUIRK_VARIANTS) - 1))]
+    masks = np.asarray(
+        data.draw(st.lists(st.integers(1, 200), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    calm_raw = data.draw(
+        st.lists(
+            st.one_of(
+                st.none(), st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    protected_raw = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+
+    calm_vec = np.asarray(
+        [np.nan if c is None else c for c in calm_raw], dtype=np.float64
+    )
+    prot_vec = np.asarray(protected_raw, dtype=bool)
+    settlement.update_protection(now, masks, calm_vec, prot_vec, quirks)
+
+    calm_sca = [float("nan") if c is None else c for c in calm_raw]
+    prot_sca = list(protected_raw)
+    settlement.update_protection_scalar(
+        now, masks.tolist(), calm_sca, prot_sca, quirks
+    )
+
+    assert prot_vec.tolist() == prot_sca
+    for vec, sca in zip(calm_vec.tolist(), calm_sca):
+        assert (math.isnan(vec) and math.isnan(sca)) or vec == sca
+
+
+def test_settlement_mode_validation():
+    with pytest.raises(SimulationError, match="settlement mode"):
+        settlement.check_settlement_mode("simd")
+    assert settlement.check_settlement_mode("scalar") == "scalar"
+
+
+class TestHostModeIdentity:
+    """Whole-host differential: both modes drive identical simulations."""
+
+    VICTIM_KEY = FlowKey(ip_proto=PROTO_TCP, ip_src=5, tp_src=52000, tp_dst=80)
+
+    def _run(self, environment, mode: str) -> list[tuple]:
+        datapath = Datapath(
+            SIPDP.build_table(), DatapathConfig(microflow_capacity=0)
+        )
+        host = HypervisorHost(
+            datapath,
+            environment.cost_model,
+            quirks=environment.quirks,
+            settlement_mode=mode,
+        )
+        for index in range(3):
+            name = f"v{index}"
+            host.register_victim(
+                name, (self.VICTIM_KEY.replace(tp_src=52000 + index),)
+            )
+            host.victim_started(name, 0.0)
+        trace = ColocatedTraceGenerator(
+            datapath.flow_table, base={"ip_proto": PROTO_TCP}
+        ).generate()
+        samples = []
+        for tick in range(120):
+            now = tick * 0.1
+            if 30 <= tick < 80:
+                host.inject_attack_batch(trace.keys, now)
+            host.tick(now, 0.1)
+            samples.append(
+                (
+                    host.cpu_load_fraction,
+                    tuple(host.per_core_load),
+                    host.upcall_pps,
+                    tuple(s.assigned_gbps for s in host.victims.values()),
+                    tuple(s.protected for s in host.victims.values()),
+                    tuple(s.calm_since for s in host.victims.values()),
+                )
+            )
+        return samples
+
+    @pytest.mark.parametrize("env_name", ["synthetic", "openstack"])
+    def test_modes_identical_over_attack(self, env_name):
+        environment = ENVS[env_name]
+        assert self._run(environment, "vector") == self._run(environment, "scalar")
+
+    def test_mode_knob_validated(self):
+        datapath = Datapath(SIPDP.build_table(), DatapathConfig())
+        with pytest.raises(SimulationError, match="settlement mode"):
+            HypervisorHost(
+                datapath, SYNTHETIC_ENV.cost_model, settlement_mode="gpu"
+            )

@@ -52,6 +52,7 @@ DEFAULT_RULES: tuple[tuple[str, str, float], ...] = (
     # Wall-clock measurements: noisy across runners, only large drops are
     # actionable.
     (r"pps", "higher", 0.50),
+    (r"tenants_per_sec", "higher", 0.50),
     (r"speedup", "higher", 0.35),
     (r"seconds", "lower", 1.00),
     # Ratio guards around timing (insert scaling should stay near-linear:

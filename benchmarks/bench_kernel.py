@@ -1,0 +1,119 @@
+"""Scan-kernel benchmarks: the compiled cffi kernel vs the numpy kernel.
+
+Two guards, persisted to ``results/BENCH_kernel.json``:
+
+* **Equivalence** — on the detonated (8k+ mask) SipSpDp replay the cffi
+  and numpy kernels are verdict-for-verdict identical: same actions,
+  paths, ``masks_inspected``, ``mask_counts`` and ``probe_costs``.  The
+  kernels only propose filter-hit candidates — every candidate is
+  confirmed against the per-mask dicts — so this must hold exactly.
+  Always runs (against numpy alone when no compiler is available).
+* **Kernel speedup** — the cffi kernel replays the §6.2 attack keys
+  against the exploded cache at >= 2x the numpy kernel's packets/sec on
+  a single shard.  The win is algorithmic, not parallel: the C scan
+  early-exits each key at its first filter hit and strip-pipelines the
+  filter probes, where the numpy plan computes the dense
+  (keys x 8k masks) candidate matrix every batch.  Skipped (with the
+  measurement still published) only when the cffi kernel cannot build.
+
+Workload builders and replay timers live in :mod:`benchmarks.common`.
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernel.py -q -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    ATTACK_BUDGET,
+    BATCH_SIZE,
+    publish,
+    replay_batch_pps,
+    section62_trace,
+    warmed,
+)
+from repro.classifier.kernel import cffi_kernel_available
+from repro.core.usecases import SIPSPDP
+
+SPEEDUP_FLOOR = 2.0
+CFFI_AVAILABLE = cffi_kernel_available()
+
+
+def test_kernel_replay_speedup():
+    """cffi replay >= 2x numpy on the 8k-mask detonation, verdict-identical."""
+    keys = section62_trace()
+    numpy_dp = warmed(keys, scan_kernel="numpy")
+    n_masks = numpy_dp.n_masks
+    assert n_masks >= 1000, f"workload too small: {n_masks} masks"
+
+    numpy_dp.megaflows.clear_memo()
+    expected = numpy_dp.process_batch(keys)
+
+    payload = {
+        "workload": "section62-random-replay",
+        "use_case": SIPSPDP.name,
+        "attack_budget_packets": ATTACK_BUDGET,
+        "batch_size": BATCH_SIZE,
+        "masks": n_masks,
+        "megaflow_entries": numpy_dp.n_megaflows,
+        "cffi_available": CFFI_AVAILABLE,
+    }
+
+    if not CFFI_AVAILABLE:
+        payload["numpy_pps"] = round(replay_batch_pps(numpy_dp, keys), 1)
+        publish("kernel", payload)
+        pytest.skip("cffi scan kernel unavailable (no compiler?); numpy published")
+
+    cffi_dp = warmed(keys, scan_kernel="cffi")
+    assert cffi_dp.n_masks == n_masks
+    assert cffi_dp.megaflows.scan_kernel_name == "cffi"
+
+    # Equivalence before timing anything: the full batch transcript.
+    cffi_dp.megaflows.clear_memo()
+    got = cffi_dp.process_batch(keys)
+    assert got.mask_counts == expected.mask_counts
+    assert got.probe_costs == expected.probe_costs
+    for i, (a, b) in enumerate(zip(expected.verdicts, got.verdicts)):
+        assert a.action == b.action, i
+        assert a.path == b.path, i
+        assert a.masks_inspected == b.masks_inspected, i
+        assert a.rules_examined == b.rules_examined, i
+    assert set(numpy_dp.megaflows.masks()) == set(cffi_dp.megaflows.masks())
+    assert {(e.mask.values, e.key) for e in numpy_dp.megaflows.entries()} == {
+        (e.mask.values, e.key) for e in cffi_dp.megaflows.entries()
+    }
+
+    numpy_pps = replay_batch_pps(numpy_dp, keys)
+    cffi_pps = replay_batch_pps(cffi_dp, keys)
+    speedup = cffi_pps / numpy_pps
+
+    payload.update(
+        {
+            "numpy_pps": round(numpy_pps, 1),
+            "cffi_pps": round(cffi_pps, 1),
+            "speedup_cffi_vs_numpy": round(speedup, 2),
+        }
+    )
+    publish("kernel", payload)
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"cffi kernel replay only {speedup:.2f}x numpy "
+        f"({cffi_pps:.0f} vs {numpy_pps:.0f} pps at {n_masks} masks)"
+    )
+
+
+def test_kernel_benchmark(benchmark):
+    """pytest-benchmark hook for the kernel replay (trajectory tracking)."""
+    keys = section62_trace()
+    datapath = warmed(keys)  # auto: cffi when available
+
+    def replay():
+        datapath.megaflows.clear_memo()
+        total = 0
+        for offset in range(0, len(keys), BATCH_SIZE):
+            total += len(datapath.process_batch(keys[offset : offset + BATCH_SIZE]))
+        return total
+
+    assert benchmark(replay) == len(keys)

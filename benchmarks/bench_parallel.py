@@ -18,6 +18,11 @@ Two guards, persisted to ``results/BENCH_parallel.json``:
   host, not the executor (2 cores cap the ceiling at 2x minus IPC; 1
   core puts it below 1x), so the measurement still runs and is
   published — with the host's CPU count — but the assertion is skipped.
+* **Transport** — the ``shm`` shared-memory data plane must not lose to
+  the pickled ``pipe`` transport (``shm_over_pipe >= 1``).  This guard is
+  host-independent — both variants pay the same scan work on however many
+  cores exist, and shm exists precisely to shed the pickle/IPC tax — so
+  it asserts even on 1 CPU.
 
 The ``thread`` executor is measured and published but not floor-guarded:
 only the numpy scan kernels release the GIL, so its win is workload- and
@@ -59,17 +64,28 @@ _PAYLOAD: dict = {}
 _CACHE: dict = {}
 
 
-def _warmed(executor: str):
-    """One detonated 4-shard datapath per executor, shared by both tests."""
-    if executor not in _CACHE:
-        _CACHE[executor] = warmed_sharded(
+# Variant name -> (executor strategy, process transport).
+VARIANTS = {
+    "serial": ("serial", "shm"),
+    "thread": ("thread", "shm"),
+    "process": ("process", "shm"),
+    "process-pipe": ("process", "pipe"),
+}
+
+
+def _warmed(variant: str):
+    """One detonated 4-shard datapath per variant, shared by the tests."""
+    if variant not in _CACHE:
+        executor, transport = VARIANTS[variant]
+        _CACHE[variant] = warmed_sharded(
             N_SHARDS,
             _keys(),
             executor=executor,
             executor_workers=N_WORKERS,
+            executor_transport=transport,
             hash_fn=uniform_key_hash,
         )
-    return _CACHE[executor]
+    return _CACHE[variant]
 
 
 def _keys():
@@ -103,7 +119,7 @@ def test_parallel_verdict_equivalence():
     expected = serial.process_batch(keys)
     reference_entries = {(e.mask.values, e.key) for e in serial.entries()}
 
-    for executor in ("thread", "process"):
+    for executor in ("thread", "process", "process-pipe"):
         datapath = _warmed(executor)
         # Identical detonation state first (installed unions, per shard).
         assert [s.n_masks for s in datapath.shards] == per_shard, executor
@@ -139,7 +155,7 @@ def test_parallel_verdict_equivalence():
             "batch_size": BATCH_SIZE,
             "cpus": EFFECTIVE_CPUS,
             "masks_per_shard": per_shard,
-            "equivalent_executors": ["serial", "thread", "process"],
+            "equivalent_executors": ["serial", "thread", "process", "process-pipe"],
         }
     )
     publish("parallel", _PAYLOAD)
@@ -151,17 +167,27 @@ def test_process_executor_speedup():
     serial_pps = replay_batch_pps(_warmed("serial"), keys)
     thread_pps = replay_batch_pps(_warmed("thread"), keys)
     process_pps = replay_batch_pps(_warmed("process"), keys)
+    pipe_pps = replay_batch_pps(_warmed("process-pipe"), keys)
 
     _PAYLOAD.update(
         {
             "serial_pps": round(serial_pps, 1),
             "thread_pps": round(thread_pps, 1),
             "process_pps": round(process_pps, 1),
+            "process_pipe_pps": round(pipe_pps, 1),
             "speedup_thread_vs_serial": round(thread_pps / serial_pps, 2),
             "speedup_process_vs_serial": round(process_pps / serial_pps, 2),
+            "shm_over_pipe": round(process_pps / pipe_pps, 2),
         }
     )
     publish("parallel", _PAYLOAD)
+
+    # Transport guard: shedding the pickle tax must never cost throughput.
+    # Host-independent (both variants do the same scan work), so no skip.
+    assert process_pps >= pipe_pps, (
+        f"shm transport slower than pipe: {process_pps:.0f} vs {pipe_pps:.0f} pps "
+        f"({process_pps / pipe_pps:.2f}x)"
+    )
 
     if EFFECTIVE_CPUS < N_WORKERS:
         # A 4-worker 2x win needs 4 real cores: on 2 cores the theoretical

@@ -49,11 +49,15 @@ def section62_trace(seed: int = 0, budget: int | None = None) -> list[FlowKey]:
     return list(source.keys(ATTACK_BUDGET if budget is None else budget))
 
 
-def attack_datapath(backend: str = "tss") -> Datapath:
+def attack_datapath(backend: str = "tss", scan_kernel: str = "auto") -> Datapath:
     """A fresh SipSpDp datapath (microflows off: the scan is under test)."""
     return Datapath(
         SIPSPDP.build_table(),
-        DatapathConfig(microflow_capacity=0, megaflow_backend=backend),
+        DatapathConfig(
+            microflow_capacity=0,
+            megaflow_backend=backend,
+            scan_kernel=scan_kernel,
+        ),
     )
 
 
@@ -75,9 +79,11 @@ def detonate(datapath: AnyDatapath, keys: Sequence[FlowKey]) -> None:
     datapath.process_batch(list(keys))
 
 
-def warmed(keys: Sequence[FlowKey], backend: str = "tss") -> Datapath:
+def warmed(
+    keys: Sequence[FlowKey], backend: str = "tss", scan_kernel: str = "auto"
+) -> Datapath:
     """A single datapath with the attack detonated and ``keys`` installed."""
-    datapath = attack_datapath(backend)
+    datapath = attack_datapath(backend, scan_kernel=scan_kernel)
     detonate(datapath, keys)
     return datapath
 
@@ -88,12 +94,16 @@ def warmed_sharded(
     backend: str = "tss",
     executor: str = "serial",
     executor_workers: int = 0,
+    executor_transport: str = "shm",
+    scan_kernel: str = "auto",
     hash_fn: Callable[[FlowKey], int] = five_tuple_hash,
 ) -> ShardedDatapath:
     """A sharded datapath with the detonation spread by the chosen RSS.
 
     ``executor`` picks the shard-execution strategy (pooled executors keep
-    worker threads/processes alive until ``datapath.close()``);
+    worker threads/processes alive until ``datapath.close()``) and
+    ``executor_transport`` its data plane (``shm`` rings vs the pickled
+    ``pipe``); ``scan_kernel`` picks the batch-scan implementation;
     ``hash_fn`` picks the dispatch hash — the natural ``five_tuple_hash``
     placement of the SipSpDp staircase is lopsided, so scaling benches
     pass :func:`repro.switch.rss.uniform_key_hash` for the even-spread
@@ -106,6 +116,8 @@ def warmed_sharded(
             megaflow_backend=backend,
             executor=executor,
             executor_workers=executor_workers,
+            executor_transport=executor_transport,
+            scan_kernel=scan_kernel,
         ),
         n_shards=n_shards,
         hash_fn=hash_fn,

@@ -318,6 +318,11 @@ class MegaflowStore:
 
     MEMO_LIMIT = 65536  # distinct keys memoised between cache mutations
 
+    #: Which :mod:`repro.classifier.kernel` implementation computes this
+    #: backend's batch scan plan — ``"none"`` for backends without one
+    #: (the sequential default path); TSS overrides per instance.
+    scan_kernel_name = "none"
+
     def __init__(self, check_invariants: bool = False):
         self.check_invariants = check_invariants
         self.scan_policy = "insertion"
@@ -439,13 +444,16 @@ class MegaflowStore:
         """
         return BatchLookupResult(results=tuple(self.lookup(k, now) for k in keys))
 
-    def batch_scanner(self, keys: list[FlowKey], now: float = 0.0):
+    def batch_scanner(self, keys: list[FlowKey], now: float = 0.0, rows=None):
         """A consume-in-order batch scanner (the datapath's level-3 engine).
 
         The caller drives it one key at a time and may mutate the cache
         between keys (slow-path installs).  The default scanner performs a
         live lookup per key, so mid-batch mutations are always visible and
-        no coherence protocol is needed.
+        no coherence protocol is needed.  ``rows`` optionally carries the
+        batch's precomputed uint64 column matrix; kernel-accelerated
+        backends use it to skip re-deriving the layout, everyone else
+        ignores it.
         """
         return LiveBatchScanner(self, list(keys), now)
 
@@ -765,12 +773,26 @@ def make_megaflow_backend(name: str, **kwargs) -> "MegaflowBackend":
     Args:
         name: registered backend name (``"tss"``, ``"tuplechain"``, …).
         **kwargs: passed to the factory (``check_invariants`` etc.).
+            Keyword arguments the factory does not accept — e.g.
+            ``scan_kernel`` for backends without a batch scan kernel —
+            are dropped, so config-level knobs stay backend-agnostic.
     """
     _ensure_builtin_backends()
     factory = _MEGAFLOW_BACKENDS.get(name)
     if factory is None:
         known = ", ".join(sorted(_MEGAFLOW_BACKENDS))
         raise ClassifierError(f"unknown megaflow backend {name!r}; known: {known}")
+    if kwargs:
+        import inspect
+
+        try:
+            parameters = inspect.signature(factory).parameters
+        except (TypeError, ValueError):  # builtins/odd callables: pass all
+            parameters = None
+        if parameters is not None and not any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        ):
+            kwargs = {k: v for k, v in kwargs.items() if k in parameters}
     return factory(**kwargs)
 
 

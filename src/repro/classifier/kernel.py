@@ -1,0 +1,613 @@
+"""Scan-kernel layer: the batch scanner's gather-filter-confirm inner loop.
+
+The TSS accelerator reduces a batch lookup to one dense computation: for a
+chunk of keys and the current mask list, compute the salted compound hash
+``(sum_c (row_c & mask_c) * w_c) ^ salt`` for every (key, mask) pair, gather
+each compound through the byte membership filter, and report per key whether
+any mask produced a filter hit plus where the first hit sits.  Everything
+semantic — dict confirmation, probe accounting, the fallback walks — stays in
+``tss.py``; this module owns only that numeric plan, behind a small kernel
+interface so the implementation is selectable like a backend:
+
+* :class:`NumpyScanKernel` — the portable reference: the exact vectorised
+  numpy pass PR 1 introduced (dense compound matrix + one filter gather).
+* :class:`CffiScanKernel` — a compiled C inner loop (built on first use
+  with cffi against the system toolchain, cached under ``_kernel_cache/``)
+  that walks masks per key and **early-exits on the first filter hit**, so a
+  warmed cache does O(first hit) work per key instead of O(masks).  The rare
+  key whose first hit fails dict confirmation (filter false positive)
+  resumes the C scan past the failed index via :meth:`ScanPlan.next_hit` —
+  identical math, identical verdicts, never a dense matrix.
+
+Selection: ``make_scan_kernel("auto")`` prefers the compiled kernel and
+falls back to numpy when the toolchain/cffi is absent; setting
+``REPRO_FORCE_NUMPY_KERNEL=1`` forces the numpy path (the no-compiler CI
+leg).  Kernels are pure accelerators under the standing invariants: every
+candidate they surface is confirmed against the per-mask dicts, so a kernel
+can never change a verdict, only how fast the plan is computed.
+
+Equivalence argument for the early-exit kernel (property-tested in
+``tests/test_kernel.py``): both kernels evaluate the same compound hash
+(addition is commutative mod 2**64, so column order does not matter) against
+the same filter snapshot, hence they agree on the *first* filter hit per
+key.  A confirmed first hit is the result for both.  On a failed confirm the
+numpy path walks its dense candidate row; the cffi path recomputes that row
+lazily.  The lazy row can only differ by filter bits set *after* the plan
+was built (mid-batch installs, which the datapath announces via
+``note_inserted``) — and under Inv(2) at most one installed entry covers any
+key, so either walk confirms exactly that entry at exactly its mask index,
+or neither confirms and the announced-insert loop returns the same entry at
+the same index.  ``masks_inspected`` is index+1 either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.packet.fields import FIELD_ORDER, FIELDS
+
+__all__ = [
+    "COLUMN_SPLITS",
+    "N_COLUMNS",
+    "U64",
+    "WEIGHTS",
+    "to_columns",
+    "to_column_matrix",
+    "row_hash",
+    "ScanPlan",
+    "ScanKernel",
+    "NumpyScanKernel",
+    "CffiScanKernel",
+    "register_scan_kernel",
+    "scan_kernel_names",
+    "resolve_scan_kernel_name",
+    "make_scan_kernel",
+    "cffi_kernel_available",
+    "FORCE_NUMPY_ENV",
+]
+
+# -- column layout (the wire format shared by accelerator and shm transport) --
+#
+# One uint64 column per field, two for the 128-bit IPv6 addresses.  This
+# layout is also the zero-copy wire format of the shared-memory transport:
+# a batch of keys travels as its (N x N_COLUMNS) uint64 matrix.
+COLUMN_SPLITS: list[tuple[int, int]] = []  # (field index, shift) per column
+for _index, _name in enumerate(FIELD_ORDER):
+    if FIELDS[_name].width > 64:
+        COLUMN_SPLITS.append((_index, 64))
+    COLUMN_SPLITS.append((_index, 0))
+N_COLUMNS = len(COLUMN_SPLITS)
+U64 = (1 << 64) - 1
+
+_HASH_RNG = np.random.default_rng(0x7553_5345)  # deterministic accelerator weights
+WEIGHTS = (
+    _HASH_RNG.integers(1, 1 << 62, size=N_COLUMNS, dtype=np.uint64) * np.uint64(2)
+    + np.uint64(1)
+)
+
+FORCE_NUMPY_ENV = "REPRO_FORCE_NUMPY_KERNEL"
+
+
+def to_columns(values: tuple[int, ...]) -> np.ndarray:
+    """Canonical value tuple -> uint64 column row."""
+    row = np.empty(N_COLUMNS, dtype=np.uint64)
+    for column, (index, shift) in enumerate(COLUMN_SPLITS):
+        row[column] = (values[index] >> shift) & U64
+    return row
+
+
+def to_column_matrix(values_list: list[tuple[int, ...]]) -> np.ndarray:
+    """Many canonical value tuples -> (N x columns) uint64 matrix."""
+    rows = np.empty((len(values_list), N_COLUMNS), dtype=np.uint64)
+    for column, (index, shift) in enumerate(COLUMN_SPLITS):
+        if shift:
+            rows[:, column] = [(v[index] >> shift) & U64 for v in values_list]
+        else:
+            rows[:, column] = [v[index] & U64 for v in values_list]
+    return rows
+
+
+def row_hash(row: np.ndarray) -> int:
+    """Salted modular hash of one column row."""
+    return int((row * WEIGHTS).sum(dtype=np.uint64))
+
+
+# -- the plan a kernel produces ------------------------------------------------
+class ScanPlan:
+    """Per-chunk filter-candidate plan: first hit per key + a resume walk.
+
+    ``has[j]``/``first[j]``/``first_compound[j]`` describe key ``j``'s first
+    filter hit (the common case: one dict confirm and done).  When that
+    confirm fails (filter false positive), :meth:`next_hit` resumes the scan
+    for that one key past the failed index — from the dense candidate matrix
+    (numpy kernel) or by re-entering the C scanner with a start offset (cffi
+    kernel, which never materialised the dense matrices).
+    """
+
+    has: list[bool]
+    first: list[int]
+    first_compound: list[int]
+
+    def next_hit(self, j: int, after: int) -> tuple[int, int] | None:
+        """The next (mask index, compound) filter hit for key ``j`` past
+        index ``after``, or ``None`` when no mask remains a candidate."""
+        raise NotImplementedError
+
+
+class DenseScanPlan(ScanPlan):
+    """Numpy plan: the full (keys x masks) compound/candidate matrices."""
+
+    __slots__ = ("has", "first", "first_compound", "_compounds", "_cand")
+
+    def __init__(self, has, first, first_compound, compounds, cand):
+        self.has = has
+        self.first = first
+        self.first_compound = first_compound
+        self._compounds = compounds
+        self._cand = cand
+
+    def next_hit(self, j, after):
+        tail = self._cand[j, after + 1:]
+        if not tail.any():
+            return None
+        index = after + 1 + int(tail.argmax())
+        return index, int(self._compounds[j, index])
+
+
+class ScanKernel:
+    """Interface every scan kernel implements (registered like a backend)."""
+
+    name = "abstract"
+
+    def build_plan(
+        self,
+        rows: np.ndarray,       # (n_keys x N_COLUMNS) uint64 key matrix
+        masks: np.ndarray,      # (n_masks x N_COLUMNS) uint64 mask matrix
+        salts: np.ndarray,      # (n_masks,) uint64 per-mask salts
+        filter_bytes: np.ndarray,  # (2**log2,) uint8 membership filter
+        filter_shift: int,      # 64 - log2
+        compounds: np.ndarray,  # sorted uint64 entry-compound set (exact)
+    ) -> ScanPlan:
+        raise NotImplementedError
+
+
+class NumpyScanKernel(ScanKernel):
+    """The portable reference kernel: dense vectorised numpy pass."""
+
+    name = "numpy"
+
+    def build_plan(self, rows, masks, salts, filter_bytes, filter_shift, compounds):
+        n_keys = len(rows)
+        n = len(masks)
+        # Most mask columns are fully wildcarded across the whole tuple
+        # space; their AND/MUL terms are identically zero and are skipped.
+        columns = np.flatnonzero(masks.any(axis=0)).tolist()
+        shape = (n_keys, n)
+        if not columns:
+            acc = np.zeros(shape, dtype=np.uint64)
+        else:
+            first_col = columns[0]
+            acc = np.bitwise_and(rows[:, first_col, None], masks[None, :, first_col])
+            acc *= WEIGHTS[first_col]
+            if len(columns) > 1:
+                scratch = np.empty(shape, dtype=np.uint64)
+                for column in columns[1:]:
+                    np.bitwise_and(
+                        rows[:, column, None],
+                        masks[None, :, column],
+                        out=scratch,
+                    )
+                    scratch *= WEIGHTS[column]
+                    acc += scratch
+        acc ^= salts[None, :]
+        cand = filter_bytes[
+            (acc >> np.uint64(filter_shift)).astype(np.intp)
+        ].view(bool)
+        # Refine the byte-filter candidates with exact membership in the
+        # sorted entry-compound set — the filter's false positives are what
+        # force fallback walks, and the sparse hit set makes the exact
+        # check nearly free.  (64-bit compound collisions remain possible;
+        # the caller's dict confirm stays authoritative.)
+        hit_rows, hit_cols = np.nonzero(cand)
+        if hit_rows.size:
+            if len(compounds):
+                values = acc[hit_rows, hit_cols]
+                positions = np.searchsorted(compounds, values)
+                in_bounds = positions < len(compounds)
+                member = np.zeros(values.shape, dtype=bool)
+                member[in_bounds] = compounds[positions[in_bounds]] == values[in_bounds]
+                cand[hit_rows, hit_cols] = member
+            else:
+                cand[hit_rows, hit_cols] = False
+        has = cand.any(axis=1)
+        first = np.where(has, cand.argmax(axis=1), 0)
+        first_compound = acc[np.arange(n_keys), first]
+        return DenseScanPlan(
+            has.tolist(), first.tolist(), first_compound.tolist(), acc, cand
+        )
+
+
+# -- compiled kernel -----------------------------------------------------------
+_CDEF = """
+void tss_scan_first(const uint64_t *rows, const uint64_t *masks,
+                    const uint64_t *weights, const uint64_t *salts,
+                    const uint8_t *filt, uint64_t shift,
+                    const uint64_t *comps, int64_t n_comps,
+                    int64_t n_keys, int64_t n_masks, int64_t n_cols,
+                    int64_t *first, uint64_t *first_compound);
+int64_t tss_scan_hits(const uint64_t *row, const uint64_t *masks,
+                      const uint64_t *weights, const uint64_t *salts,
+                      const uint8_t *filt, uint64_t shift,
+                      const uint64_t *comps, int64_t n_comps,
+                      int64_t n_masks, int64_t n_cols, int64_t max_hits,
+                      int64_t *indices, uint64_t *compounds);
+"""
+
+_SOURCE = """
+#include <stdint.h>
+
+/* The scan is processed in strips of STRIP masks: the compound hashes of a
+ * whole strip are computed first (sequential, ALU-bound, prefetch-friendly),
+ * then the membership filter is probed for each — the probes are random
+ * accesses into a filter that can span megabytes, and issuing them as
+ * independent loads lets the out-of-order core overlap the cache misses
+ * instead of paying one full latency per mask. */
+#define STRIP 64
+
+/* Exact membership of one compound in the sorted entry-compound set.  The
+ * byte filter in front keeps this off the common (miss) path; the binary
+ * search then rejects almost every filter false positive, so the python
+ * caller's fallback walk (a full rescan) stays rare. */
+static int tss_member(const uint64_t *comps, int64_t n, uint64_t value)
+{
+    int64_t lo = 0, hi = n;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        if (comps[mid] < value)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo < n && comps[lo] == value;
+}
+
+/* Per key: scan masks in order and early-exit on the first confirmed filter
+ * hit.  The python caller confirms that hit against the authoritative
+ * dicts; masks past the first hit are only needed on a (rare) failed
+ * confirm, and are collected by tss_scan_hits on that path. */
+void tss_scan_first(const uint64_t *rows, const uint64_t *masks,
+                    const uint64_t *weights, const uint64_t *salts,
+                    const uint8_t *filt, uint64_t shift,
+                    const uint64_t *comps, int64_t n_comps,
+                    int64_t n_keys, int64_t n_masks, int64_t n_cols,
+                    int64_t *first, uint64_t *first_compound)
+{
+    for (int64_t k = 0; k < n_keys; k++) {
+        const uint64_t *row = rows + k * n_cols;
+        int64_t hit = -1;
+        uint64_t hit_acc = 0;
+        uint64_t accs[STRIP];
+        for (int64_t base = 0; base < n_masks && hit < 0; base += STRIP) {
+            int64_t lim = n_masks - base;
+            if (lim > STRIP)
+                lim = STRIP;
+            const uint64_t *mask = masks + base * n_cols;
+            for (int64_t i = 0; i < lim; i++, mask += n_cols) {
+                uint64_t acc = 0;
+                for (int64_t c = 0; c < n_cols; c++)
+                    acc += (row[c] & mask[c]) * weights[c];
+                accs[i] = acc ^ salts[base + i];
+            }
+            for (int64_t i = 0; i < lim; i++) {
+                if (filt[accs[i] >> shift] &&
+                    tss_member(comps, n_comps, accs[i])) {
+                    hit = base + i;
+                    hit_acc = accs[i];
+                    break;
+                }
+            }
+        }
+        first[k] = hit;
+        first_compound[k] = hit_acc;
+    }
+}
+
+/* The fallback walk for ONE key: collect membership-confirmed filter hits
+ * in mask order (up to max_hits), so a failed dict confirm costs one C
+ * call, not one per remaining candidate.  Returns the hit count. */
+int64_t tss_scan_hits(const uint64_t *row, const uint64_t *masks,
+                      const uint64_t *weights, const uint64_t *salts,
+                      const uint8_t *filt, uint64_t shift,
+                      const uint64_t *comps, int64_t n_comps,
+                      int64_t n_masks, int64_t n_cols, int64_t max_hits,
+                      int64_t *indices, uint64_t *compounds)
+{
+    int64_t count = 0;
+    uint64_t accs[STRIP];
+    for (int64_t base = 0; base < n_masks && count < max_hits; base += STRIP) {
+        int64_t lim = n_masks - base;
+        if (lim > STRIP)
+            lim = STRIP;
+        const uint64_t *mask = masks + base * n_cols;
+        for (int64_t i = 0; i < lim; i++, mask += n_cols) {
+            uint64_t acc = 0;
+            for (int64_t c = 0; c < n_cols; c++)
+                acc += (row[c] & mask[c]) * weights[c];
+            accs[i] = acc ^ salts[base + i];
+        }
+        for (int64_t i = 0; i < lim && count < max_hits; i++) {
+            if (filt[accs[i] >> shift] &&
+                tss_member(comps, n_comps, accs[i])) {
+                indices[count] = base + i;
+                compounds[count] = accs[i];
+                count++;
+            }
+        }
+    }
+    return count;
+}
+"""
+
+#: Compile outcome memo: None = not tried, ("ok", lib) | ("error", message).
+_CFFI_STATE: tuple[str, object] | None = None
+
+
+def _kernel_cache_dir() -> Path:
+    return Path(__file__).resolve().parent / "_kernel_cache"
+
+
+def _load_cffi_lib():
+    """Compile (or reuse) the C kernel; returns the (ffi, lib) pair.
+
+    The built extension is cached next to this module under
+    ``_kernel_cache/`` keyed by a hash of the C source, so repeated runs —
+    and forked worker processes — reuse one compile.  Concurrent compiles
+    are race-safe: each builds in a private tmpdir and ``os.replace``s the
+    artifact into place.
+    """
+    import cffi  # deferred: absence means fallback, not import failure
+
+    digest = hashlib.sha256((_CDEF + _SOURCE).encode()).hexdigest()[:12]
+    modname = f"_tss_scan_{digest}"
+    cache = _kernel_cache_dir()
+
+    ffi = cffi.FFI()
+    ffi.cdef(_CDEF)
+
+    from importlib.machinery import EXTENSION_SUFFIXES
+
+    existing = None
+    for suffix in EXTENSION_SUFFIXES:
+        candidate = cache / f"{modname}{suffix}"
+        if candidate.exists():
+            existing = candidate
+            break
+    if existing is None:
+        ffi.set_source(modname, _SOURCE, extra_compile_args=["-O3"])
+        cache.mkdir(exist_ok=True)
+        tmpdir = Path(
+            tempfile.mkdtemp(prefix=f".build-{os.getpid()}-", dir=cache)
+        )
+        try:
+            built = Path(ffi.compile(tmpdir=str(tmpdir)))
+            existing = cache / built.name
+            os.replace(built, existing)
+        finally:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(modname, existing)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.ffi, module.lib
+
+
+class CffiScanPlan(ScanPlan):
+    """Compiled plan: first hits only; :meth:`next_hit` re-enters the C
+    scanner once per falling-back key to collect the remaining candidates
+    (no dense matrices ever built)."""
+
+    MAX_HITS = 16  # per fetch; a truncated fetch resumes past its last hit
+
+    __slots__ = (
+        "has", "first", "first_compound",
+        "_lib", "_n_masks", "_n_cols", "_n_comps", "_shift", "_fallback",
+        "_arrays",
+        "_p_rows", "_p_masks", "_p_weights", "_p_salts", "_p_filter",
+        "_p_comps", "_idx_buf", "_comp_buf", "_p_idx", "_p_comp",
+    )
+
+    def __init__(self, has, first, first_compound, lib, ffi,
+                 rows_c, masks_c, weights_c, salts_c, filt_c, comps_c, shift):
+        self.has = has
+        self.first = first
+        self.first_compound = first_compound
+        self._lib = lib
+        self._n_masks = len(salts_c)
+        self._n_cols = rows_c.shape[1]
+        self._n_comps = len(comps_c)
+        self._shift = shift
+        self._fallback: dict[int, tuple[list[tuple[int, int]], bool]] = {}
+        # Pointers are cast once; the numpy arrays are pinned on the plan so
+        # the addresses stay alive as long as the plan does.
+        self._arrays = (rows_c, masks_c, weights_c, salts_c, filt_c, comps_c)
+        self._p_rows = ffi.cast("const uint64_t *", rows_c.ctypes.data)
+        self._p_masks = ffi.cast("const uint64_t *", masks_c.ctypes.data)
+        self._p_weights = ffi.cast("const uint64_t *", weights_c.ctypes.data)
+        self._p_salts = ffi.cast("const uint64_t *", salts_c.ctypes.data)
+        self._p_filter = ffi.cast("const uint8_t *", filt_c.ctypes.data)
+        self._p_comps = ffi.cast("const uint64_t *", comps_c.ctypes.data)
+        self._idx_buf = np.empty(self.MAX_HITS, dtype=np.int64)
+        self._comp_buf = np.empty(self.MAX_HITS, dtype=np.uint64)
+        self._p_idx = ffi.cast("int64_t *", self._idx_buf.ctypes.data)
+        self._p_comp = ffi.cast("uint64_t *", self._comp_buf.ctypes.data)
+
+    def _fetch(self, j: int, start: int) -> tuple[list[tuple[int, int]], bool]:
+        """The (index, compound) filter hits for key ``j`` from mask
+        ``start`` on (one C call), plus whether the fetch was truncated."""
+        if start >= self._n_masks:
+            return [], False
+        count = self._lib.tss_scan_hits(
+            self._p_rows + j * self._n_cols,
+            self._p_masks + start * self._n_cols,
+            self._p_weights,
+            self._p_salts + start,
+            self._p_filter,
+            self._shift,
+            self._p_comps,
+            self._n_comps,
+            self._n_masks - start,
+            self._n_cols,
+            self.MAX_HITS,
+            self._p_idx,
+            self._p_comp,
+        )
+        indices, compounds = self._idx_buf, self._comp_buf
+        hits = [
+            (start + int(indices[i]), int(compounds[i])) for i in range(count)
+        ]
+        return hits, count == self.MAX_HITS
+
+    def next_hit(self, j, after):
+        cached = self._fallback.get(j)
+        if cached is None:
+            cached = self._fetch(j, after + 1)
+            self._fallback[j] = cached
+        while True:
+            hits, truncated = cached
+            for index, compound in hits:
+                if index > after:
+                    return index, compound
+            if not truncated:
+                return None
+            cached = self._fetch(j, hits[-1][0] + 1)
+            self._fallback[j] = cached
+
+
+class CffiScanKernel(ScanKernel):
+    """Early-exit compiled C kernel (cffi API mode, GIL released in C)."""
+
+    name = "cffi"
+
+    def __init__(self):
+        self._ffi, self._lib = _cffi_runtime()
+
+    def build_plan(self, rows, masks, salts, filter_bytes, filter_shift, compounds):
+        n_keys = len(rows)
+        n = len(masks)
+        # Compact away fully-wildcarded columns — the C loop then touches
+        # only columns that contribute to the hash (same skip the numpy
+        # kernel performs; addition over uint64 is commutative so the
+        # compound is bit-identical).
+        active = np.flatnonzero(masks.any(axis=0))
+        rows_c = np.ascontiguousarray(rows[:, active])
+        masks_c = np.ascontiguousarray(masks[:, active])
+        weights_c = np.ascontiguousarray(WEIGHTS[active])
+        salts_c = np.ascontiguousarray(salts)
+        filt_c = np.ascontiguousarray(filter_bytes)
+        comps_c = np.ascontiguousarray(compounds, dtype=np.uint64)
+        first = np.empty(n_keys, dtype=np.int64)
+        first_compound = np.zeros(n_keys, dtype=np.uint64)
+        ffi = self._ffi
+        self._lib.tss_scan_first(
+            ffi.cast("const uint64_t *", rows_c.ctypes.data),
+            ffi.cast("const uint64_t *", masks_c.ctypes.data),
+            ffi.cast("const uint64_t *", weights_c.ctypes.data),
+            ffi.cast("const uint64_t *", salts_c.ctypes.data),
+            ffi.cast("const uint8_t *", filt_c.ctypes.data),
+            filter_shift,
+            ffi.cast("const uint64_t *", comps_c.ctypes.data),
+            len(comps_c),
+            n_keys,
+            n,
+            len(active),
+            ffi.cast("int64_t *", first.ctypes.data),
+            ffi.cast("uint64_t *", first_compound.ctypes.data),
+        )
+        has = first >= 0
+        return CffiScanPlan(
+            has.tolist(),
+            np.where(has, first, 0).tolist(),
+            first_compound.tolist(),
+            self._lib, ffi,
+            rows_c, masks_c, weights_c, salts_c, filt_c, comps_c, filter_shift,
+        )
+
+
+def _cffi_runtime():
+    """The process-wide compiled kernel, or raise why it is unavailable."""
+    global _CFFI_STATE
+    if _CFFI_STATE is None:
+        try:
+            _CFFI_STATE = ("ok", _load_cffi_lib())
+        except Exception as exc:  # toolchain/cffi absent: remember why
+            _CFFI_STATE = ("error", f"{type(exc).__name__}: {exc}")
+    kind, payload = _CFFI_STATE
+    if kind != "ok":
+        raise RuntimeError(f"cffi scan kernel unavailable ({payload})")
+    return payload
+
+
+def _numpy_forced() -> bool:
+    return os.environ.get(FORCE_NUMPY_ENV, "") == "1"
+
+
+def cffi_kernel_available() -> bool:
+    """True when the compiled kernel can be built/loaded and is not forced off."""
+    if _numpy_forced():
+        return False
+    try:
+        _cffi_runtime()
+    except RuntimeError:
+        return False
+    return True
+
+
+# -- registry ------------------------------------------------------------------
+_SCAN_KERNELS: dict[str, Callable[[], ScanKernel]] = {}
+_NUMPY_SINGLETON = NumpyScanKernel()
+
+
+def register_scan_kernel(name: str, factory: Callable[[], ScanKernel]) -> None:
+    _SCAN_KERNELS[name] = factory
+
+
+def scan_kernel_names() -> tuple[str, ...]:
+    return ("auto", *sorted(_SCAN_KERNELS))
+
+
+def resolve_scan_kernel_name(name: str = "auto") -> str:
+    """What ``make_scan_kernel(name)`` would actually build right now."""
+    if name == "auto":
+        return "cffi" if cffi_kernel_available() else "numpy"
+    if name not in _SCAN_KERNELS:
+        raise KeyError(
+            f"unknown scan kernel {name!r}; known: {', '.join(scan_kernel_names())}"
+        )
+    return name
+
+
+def make_scan_kernel(name: str = "auto") -> ScanKernel:
+    """Build a scan kernel; ``"auto"`` prefers compiled, falls back to numpy.
+
+    ``REPRO_FORCE_NUMPY_KERNEL=1`` pins ``"auto"`` to numpy (and makes an
+    explicit ``"cffi"`` request fail loudly rather than silently comply).
+    """
+    resolved = resolve_scan_kernel_name(name)
+    if resolved == "cffi" and _numpy_forced():
+        raise RuntimeError(
+            f"scan kernel 'cffi' requested but {FORCE_NUMPY_ENV}=1 forces numpy"
+        )
+    return _SCAN_KERNELS[resolved]()
+
+
+register_scan_kernel("numpy", lambda: _NUMPY_SINGLETON)
+register_scan_kernel("cffi", CffiScanKernel)

@@ -70,8 +70,22 @@ from repro.classifier.backend import (
     TssLookupResult,
     register_megaflow_backend,
 )
+
+# The column layout and hash weights live in ``classifier.kernel`` now (they
+# double as the shared-memory transport's wire format); the underscore names
+# are kept as aliases for existing call sites.
+from repro.classifier.kernel import (
+    COLUMN_SPLITS as _COLUMN_SPLITS,  # noqa: F401  (back-compat alias)
+    N_COLUMNS as _N_COLUMNS,
+    U64 as _U64,
+    WEIGHTS as _WEIGHTS,
+    make_scan_kernel,
+    row_hash as _row_hash,
+    to_column_matrix as _to_column_matrix,
+    to_columns as _to_columns,
+)
 from repro.exceptions import CacheInvariantError
-from repro.packet.fields import FIELD_ORDER, FIELDS, FlowKey, FlowMask
+from repro.packet.fields import FlowKey, FlowMask
 
 __all__ = [
     "MegaflowEntry",
@@ -82,53 +96,12 @@ __all__ = [
     "MASK_BYTES",
 ]
 
-# Column layout for the vectorised accelerator: one uint64 column per
-# field, two for the 128-bit IPv6 addresses.
-_COLUMN_SPLITS: list[tuple[int, int]] = []  # (field index, shift) per column
-for _index, _name in enumerate(FIELD_ORDER):
-    if FIELDS[_name].width > 64:
-        _COLUMN_SPLITS.append((_index, 64))
-    _COLUMN_SPLITS.append((_index, 0))
-_N_COLUMNS = len(_COLUMN_SPLITS)
-_U64 = (1 << 64) - 1
-
-_HASH_RNG = np.random.default_rng(0x7553_5345)  # deterministic accelerator weights
-_WEIGHTS = (
-    _HASH_RNG.integers(1, 1 << 62, size=_N_COLUMNS, dtype=np.uint64) * np.uint64(2)
-    + np.uint64(1)
-)
-
-
-def _to_columns(values: tuple[int, ...]) -> np.ndarray:
-    """Canonical value tuple -> uint64 column row."""
-    row = np.empty(_N_COLUMNS, dtype=np.uint64)
-    for column, (index, shift) in enumerate(_COLUMN_SPLITS):
-        row[column] = (values[index] >> shift) & _U64
-    return row
-
-
-def _to_column_matrix(values_list: list[tuple[int, ...]]) -> np.ndarray:
-    """Many canonical value tuples -> (N x columns) uint64 matrix."""
-    rows = np.empty((len(values_list), _N_COLUMNS), dtype=np.uint64)
-    for column, (index, shift) in enumerate(_COLUMN_SPLITS):
-        if shift:
-            rows[:, column] = [(v[index] >> shift) & _U64 for v in values_list]
-        else:
-            rows[:, column] = [v[index] & _U64 for v in values_list]
-    return rows
-
-
 # Candidate filter sizing: one byte per slot, indexed by the top bits of a
 # compound.  Grown whenever the entry count reaches 1/1024 of the slot
 # count, so the expected false-candidate rate stays ~0.1% per (key, mask).
 _FILTER_MIN_LOG2 = 16
 _FILTER_MAX_LOG2 = 24
 _FILTER_LOAD_LOG2 = 10
-
-
-def _row_hash(row: np.ndarray) -> int:
-    """Salted modular hash of one column row."""
-    return int((row * _WEIGHTS).sum(dtype=np.uint64))
 
 
 class TupleSpaceSearch(MegaflowStore):
@@ -142,6 +115,12 @@ class TupleSpaceSearch(MegaflowStore):
             model of the paper's analysis); ``"hit_sorted"`` periodically
             re-sorts masks by hit count, an optional OVS-like optimisation
             exercised by the ablation benchmarks.
+        scan_kernel: which :mod:`repro.classifier.kernel` implementation
+            computes the batch scan plan — ``"auto"`` (compiled cffi kernel
+            when the toolchain allows, numpy otherwise), ``"numpy"`` or
+            ``"cffi"``.  Kernels are pure accelerators: every candidate is
+            confirmed against the dicts, so the choice can never change a
+            verdict (``tests/test_kernel.py``).
     """
 
     RESORT_INTERVAL = 1024  # lookups between re-sorts under "hit_sorted"
@@ -153,11 +132,18 @@ class TupleSpaceSearch(MegaflowStore):
     # :class:`MegaflowStore`.  Every mask-count-anchored consumer
     # therefore prices TSS exactly as before the probe refactor.
 
-    def __init__(self, check_invariants: bool = False, scan_policy: str = "insertion"):
+    def __init__(
+        self,
+        check_invariants: bool = False,
+        scan_policy: str = "insertion",
+        scan_kernel: str = "auto",
+    ):
         if scan_policy not in ("insertion", "hit_sorted"):
             raise CacheInvariantError(f"unknown scan policy {scan_policy!r}")
         super().__init__(check_invariants=check_invariants)
         self.scan_policy = scan_policy
+        self._scan_kernel = make_scan_kernel(scan_kernel)
+        self.scan_kernel_name = self._scan_kernel.name
         self._mask_hits: dict[FlowMask, int] = {}
         self._lookups_since_sort = 0
         # Vectorised accelerator state.  Inserts update it incrementally
@@ -361,15 +347,19 @@ class TupleSpaceSearch(MegaflowStore):
             results=tuple(scanner.result(i) for i in range(len(keys)))
         )
 
-    def batch_scanner(self, keys: list[FlowKey], now: float = 0.0) -> "_BatchScanner":
+    def batch_scanner(
+        self, keys: list[FlowKey], now: float = 0.0, rows=None
+    ) -> "_BatchScanner":
         """A consume-in-order batch scanner (the datapath's level-3 engine).
 
         Unlike :meth:`lookup_batch` the caller drives it one key at a time
         and may mutate the cache between keys (slow-path installs); the
         scanner keeps its vectorised plan coherent — replanning on
         reorders, checking caller-announced inserts on plan misses.
+        ``rows`` optionally supplies ``keys``' precomputed column matrix
+        (the shm transport's wire format) so planning skips the derive.
         """
-        return _BatchScanner(self, keys, now)
+        return _BatchScanner(self, keys, now, rows=rows)
 
     def _acc_confirm(
         self, compound: int, index: int, key_values: tuple[int, ...]
@@ -430,18 +420,21 @@ class _BatchScanner:
     # even against a fully detonated (8k+ mask) tuple space.
     CHUNK_ELEMS = 4_000_000
 
-    def __init__(self, tss: TupleSpaceSearch, keys: list[FlowKey], now: float):
+    def __init__(
+        self,
+        tss: TupleSpaceSearch,
+        keys: list[FlowKey],
+        now: float,
+        rows=None,
+    ):
         self.tss = tss
         self.keys = keys
         self.now = now
+        self._rows = rows  # precomputed column matrix for ALL keys, or None
         self._start = 0
         self._end = 0
         self._order_seq = -1
-        self._compounds: np.ndarray | None = None
-        self._cand: np.ndarray | None = None
-        self._has: list[bool] = []
-        self._first: list[int] = []
-        self._first_compound: list[int] = []
+        self._plan = None  # the kernel-built ScanPlan for keys[start:end]
         self._inserted: list[MegaflowEntry] = []
 
     def note_inserted(self, entry: MegaflowEntry) -> None:
@@ -476,19 +469,18 @@ class _BatchScanner:
         if tss._order_seq != self._order_seq or not (self._start <= i < self._end):
             self._build_plan(i)
         j = i - self._start
-        if self._has[j]:
-            index = self._first[j]
-            hit = tss._acc_confirm(self._first_compound[j], index, key_values)
-            if hit is None:
-                # Filter false positive: walk the remaining candidates.
-                for index in np.flatnonzero(self._cand[j]).tolist():
-                    if index <= self._first[j]:
-                        continue
-                    hit = tss._acc_confirm(
-                        int(self._compounds[j, index]), index, key_values
-                    )
-                    if hit is not None:
-                        break
+        plan = self._plan
+        if plan.has[j]:
+            index = plan.first[j]
+            hit = tss._acc_confirm(plan.first_compound[j], index, key_values)
+            while hit is None:
+                # Filter false positive: resume the scan past the failed
+                # index and confirm the next candidate.
+                nxt = plan.next_hit(j, index)
+                if nxt is None:
+                    break
+                index, compound = nxt
+                hit = tss._acc_confirm(int(compound), index, key_values)
             if hit is not None:
                 tss._register_hit(hit, self.now)
                 return TssLookupResult(entry=hit, masks_inspected=index + 1)
@@ -506,47 +498,31 @@ class _BatchScanner:
         return TssLookupResult(entry=None, masks_inspected=n_now)
 
     def _build_plan(self, start: int) -> None:
-        """Vectorised compound/candidate computation for keys[start:end]."""
+        """Kernel-computed compound/candidate plan for keys[start:end]."""
         tss = self.tss
         n = len(tss._mask_order)
         chunk = max(32, self.CHUNK_ELEMS // max(n, 1))
         end = min(len(self.keys), start + chunk)
-        values_list = [k.values for k in self.keys[start:end]]
-        rows = _to_column_matrix(values_list)
-        mask_buffer = tss._acc_mask_buffer
-        # Most mask columns are fully wildcarded across the whole tuple
-        # space; their AND/MUL terms are identically zero and are skipped.
-        columns = np.flatnonzero(mask_buffer[:n].any(axis=0)).tolist()
-        shape = (len(values_list), n)
-        if not columns:
-            acc = np.zeros(shape, dtype=np.uint64)
+        if self._rows is not None:
+            rows = self._rows[start:end]
         else:
-            first_col = columns[0]
-            acc = np.bitwise_and(rows[:, first_col, None], mask_buffer[None, :n, first_col])
-            acc *= _WEIGHTS[first_col]
-            if len(columns) > 1:
-                scratch = np.empty(shape, dtype=np.uint64)
-                for column in columns[1:]:
-                    np.bitwise_and(
-                        rows[:, column, None],
-                        mask_buffer[None, :n, column],
-                        out=scratch,
-                    )
-                    scratch *= _WEIGHTS[column]
-                    acc += scratch
-        acc ^= tss._acc_salt_buffer[None, :n]
-        cand = tss._acc_filter[(acc >> tss._acc_filter_shift).astype(np.intp)].view(bool)
-        has = cand.any(axis=1)
-        first = np.where(has, cand.argmax(axis=1), 0)
-        first_compound = acc[np.arange(len(values_list)), first]
+            rows = _to_column_matrix([k.values for k in self.keys[start:end]])
+        if tss._acc_pending:
+            # The kernels refine filter candidates against the sorted
+            # compound set; fold the unsorted insert backlog in first so
+            # the snapshot is complete (amortised: once per plan).
+            tss._acc_merge_pending()
+        self._plan = tss._scan_kernel.build_plan(
+            rows,
+            tss._acc_mask_buffer[:n],
+            tss._acc_salt_buffer[:n],
+            tss._acc_filter,
+            int(tss._acc_filter_shift),
+            tss._acc_compounds,
+        )
         self._start = start
         self._end = end
         self._order_seq = tss._order_seq
-        self._compounds = acc
-        self._cand = cand
-        self._has = has.tolist()
-        self._first = first.tolist()
-        self._first_compound = first_compound.tolist()
         self._inserted.clear()
 
 

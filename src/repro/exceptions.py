@@ -45,6 +45,15 @@ class SwitchError(ReproError):
     """The simulated software switch was misconfigured or misused."""
 
 
+class ExecutorError(SwitchError):
+    """A pooled shard executor lost a worker or broke its protocol.
+
+    Raised (with the worker's shards and last completed op in the message)
+    instead of the raw pipe ``EOFError``/``BrokenPipeError`` a dead worker
+    would otherwise surface as.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-time network simulation was misconfigured."""
 

@@ -99,6 +99,13 @@ class EnvironmentProfile:
             ``"serial"`` (single datapath thread, and byte-identical
             outputs), while ``"thread"``/``"process"`` make a multi-PMD
             environment actually execute its shards concurrently.
+        executor_transport: data-plane transport override for the
+            ``process`` executor (``"shm"`` shared-memory rings or
+            ``"pipe"``); ``None`` defers to ``datapath.executor_transport``.
+        scan_kernel: megaflow scan-kernel override (``"auto"``, ``"numpy"``,
+            ``"cffi"``); ``None`` defers to ``datapath.scan_kernel``.
+            Kernels are verdict-equivalent by invariant — like ``executor``
+            this knob only decides wall-clock speed.
         description: Table 1 provenance notes.
     """
 
@@ -110,18 +117,26 @@ class EnvironmentProfile:
     n_pmd: int = 1
     megaflow_backend: str | None = None
     executor: str | None = None
+    executor_transport: str | None = None
+    scan_kernel: str | None = None
     description: str = ""
 
     def datapath_config(self) -> DatapathConfig:
         """The datapath knobs with this profile's backend/executor applied."""
         config = self.datapath
-        if (
-            self.megaflow_backend is not None
-            and config.megaflow_backend != self.megaflow_backend
-        ):
-            config = dc_replace(config, megaflow_backend=self.megaflow_backend)
-        if self.executor is not None and config.executor != self.executor:
-            config = dc_replace(config, executor=self.executor)
+        overrides = {
+            "megaflow_backend": self.megaflow_backend,
+            "executor": self.executor,
+            "executor_transport": self.executor_transport,
+            "scan_kernel": self.scan_kernel,
+        }
+        changes = {
+            field: value
+            for field, value in overrides.items()
+            if value is not None and getattr(config, field) != value
+        }
+        if changes:
+            config = dc_replace(config, **changes)
         return config
 
 

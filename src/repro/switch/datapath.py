@@ -177,6 +177,19 @@ class DatapathConfig:
             multi-core wall clock).  Ignored by a plain datapath.
         executor_workers: worker cap for pooled executors (0 → one worker
             per shard).
+        executor_transport: data-plane transport for the ``process``
+            executor — ``"shm"`` (zero-copy shared-memory rings with a
+            pipe doorbell; falls back to pipes per oversized batch) or
+            ``"pipe"`` (the PR 5 pickled-batch protocol).  Control ops
+            and flow-table deltas always travel the pipe.
+        executor_pinning: optional per-worker CPU ids for
+            ``os.sched_setaffinity`` pinning of ``process`` workers
+            (worker *i* pins to ``executor_pinning[i % len]``); empty →
+            no pinning.
+        scan_kernel: which :mod:`repro.classifier.kernel` implementation
+            computes batch scan plans for backends that have one —
+            ``"auto"`` (compiled cffi kernel when available, numpy
+            otherwise), ``"numpy"``, or ``"cffi"``.
     """
 
     microflow_capacity: int = 256
@@ -189,6 +202,9 @@ class DatapathConfig:
     megaflow_backend: str = "tss"
     executor: str = "serial"
     executor_workers: int = 0
+    executor_transport: str = "shm"
+    executor_pinning: tuple[int, ...] = ()
+    scan_kernel: str = "auto"
 
 
 @dataclass
@@ -241,6 +257,7 @@ class Datapath:
             else make_megaflow_backend(
                 self.config.megaflow_backend,
                 check_invariants=self.config.check_invariants,
+                scan_kernel=self.config.scan_kernel,
             )
         )
         self.microflows: MicroflowCache | None = (
@@ -378,7 +395,12 @@ class Datapath:
             return verdict
         return self._scan_levels(key, self.megaflows.lookup(key, now=self.now))
 
-    def process_batch(self, keys: Sequence[FlowKey], now: float | None = None) -> BatchVerdicts:
+    def process_batch(
+        self,
+        keys: Sequence[FlowKey],
+        now: float | None = None,
+        rows: "np.ndarray | None" = None,
+    ) -> BatchVerdicts:
         """Classify a whole batch of packets through the pipeline.
 
         Semantically identical to calling :meth:`process` per key in
@@ -390,6 +412,11 @@ class Datapath:
         per-key because each packet's probe can depend on the caches the
         previous packet just touched (a batch of duplicates must hit the
         microflow its first packet installed).
+
+        ``rows`` optionally supplies ``keys``' uint64 column matrix when
+        the caller already has it (the shared-memory transport's wire
+        format is exactly this layout) — purely a recomputation saving,
+        never a semantic input.
         """
         self._advance_clock(now)
         keys = list(keys)
@@ -397,7 +424,7 @@ class Datapath:
         verdicts: list[PacketVerdict] = []
         mask_counts: list[int] = []
         probe_costs: list[float] = []
-        scanner = self.megaflows.batch_scanner(keys, now=self.now)
+        scanner = self.megaflows.batch_scanner(keys, now=self.now, rows=rows)
         for i, key in enumerate(keys):
             self.stats.packets += 1
             mask_counts.append(self.megaflows.n_masks)

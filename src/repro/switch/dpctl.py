@@ -17,9 +17,11 @@ eyeball a tuple space explosion the way the paper's authors did:
   for spotting the prefix staircase a TSE attack carves.
 
 All three accept a sharded multi-PMD datapath too: ``show`` reports the
-execution strategy (``pmd executor: serial``/``thread[...]``/
-``process[...]`` — worker-owned shards render through the same proxies the
-management plane drives) and appends one ``pmd`` line per shard (mask
+execution strategy and scan kernel (``pmd executor: serial, kernel=numpy``
+or ``process[4 workers]/shm, kernel=cffi`` — worker-owned shards render
+through the same proxies the management plane drives, and the transport
+suffix distinguishes the shared-memory data plane from the pickled-pipe
+one) and appends one ``pmd`` line per shard (mask
 count, megaflow count, hit statistics — the operator-triage view that
 reveals a queue-concentrated explosion),
 ``dump_flows`` prefixes each shard's flows with its queue header, and
@@ -116,6 +118,19 @@ def _shard_summary(shard) -> tuple[str, str, str]:
     )
 
 
+def _kernel_names(datapath: AnyDatapath) -> str:
+    """The distinct scan-kernel names across shards (usually one).
+
+    Backends that scan without a pluggable kernel report ``none``; the
+    worker-owned shards of the process executor answer through the same
+    backend proxy as the rest of the management plane.
+    """
+    names = sorted(
+        {getattr(shard.megaflows, "scan_kernel_name", "none") for shard in datapath.shards}
+    )
+    return "+".join(names)
+
+
 def show(datapath: AnyDatapath) -> str:
     """The ``ovs-dpctl show`` summary (the Alg. 2 line-2 data source).
 
@@ -138,7 +153,7 @@ def show(datapath: AnyDatapath) -> str:
             f"  masks: hit:{stats.masks_inspected_total} total:{datapath.n_masks} "
             f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
             f"  mask tables: {datapath.n_mask_tables} across {datapath.n_shards} pmds",
-            f"  pmd executor: {datapath.executor_name}",
+            f"  pmd executor: {datapath.executor_name}, kernel={_kernel_names(datapath)}",
             f"  scan cost: {datapath.scan_cost:.1f} probe units (worst pmd)",
             f"  cache usage: {memory / 1e6:.2f} MB",
         ]

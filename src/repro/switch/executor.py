@@ -21,7 +21,16 @@ execution layer that actually fans the per-shard work out:
   :class:`ShardProxy` handles that speak a small message protocol over
   pipes.  ``process_batch`` scatters RSS-partitioned sub-batches to the
   owning workers and gathers their :class:`BatchVerdicts` — true
-  multi-core wall-clock scaling, no GIL.
+  multi-core wall-clock scaling, no GIL.  Under the default ``shm``
+  transport the batch *data* bypasses the pipes entirely: keys travel as
+  uint64 column matrices and verdicts come back as numeric arrays through
+  per-worker shared-memory rings (:mod:`repro.switch.shm_ring`), with the
+  pipe reduced to a sequence-number doorbell.  ``transport="pipe"``
+  restores the PR 5 pickled path (also the automatic fallback for a batch
+  that does not fit its ring), and ``pinning`` optionally pins each
+  worker to a CPU via ``os.sched_setaffinity``.  Control operations and
+  flow-table deltas always stay on the pipe — only the packet-rate data
+  plane earns shared memory.
 
 Why flow-table mutation ships as *deltas* under the ``process`` executor:
 the flow table is the control plane and stays authoritative in the parent,
@@ -63,7 +72,9 @@ Executor invariants (tested in ``tests/test_executor.py``):
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import os
 import threading
 import traceback
 from concurrent.futures import ThreadPoolExecutor
@@ -72,8 +83,15 @@ from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.classifier.backend import MegaflowEntry, ProbeCostSnapshot
 from repro.classifier.flowtable import FlowTable
-from repro.exceptions import SwitchError
+from repro.exceptions import ExecutorError, SwitchError
 from repro.packet.fields import FlowKey, FlowMask
+from repro.switch.shm_ring import (
+    ShmRing,
+    decode_batch,
+    decode_verdicts,
+    encode_batch,
+    encode_verdicts,
+)
 from repro.switch.datapath import (
     BatchVerdicts,
     CoreReport,
@@ -265,6 +283,11 @@ class ThreadShardExecutor(ShardExecutor):
 # or ("err", traceback-string)):
 #
 #   ("batch", [(shard_id, keys), ...], now)        -> [(shard_id, BatchVerdicts), ...]
+#   ("shm_batch", seq)                             -> ("ring", seq) | ("pipe", results)
+#       (doorbell: the batch itself is record ``seq`` in the submit ring;
+#        verdicts come back in the complete ring, or inline over the pipe
+#        when the complete ring is full)
+#   ("worker_info",)                               -> {pid, shards, transport, affinity}
 #   ("shard_get", shard_id, attr)                  -> getattr(shard, attr)
 #   ("shard_call", shard_id, method, args, kwargs) -> shard.method(*args, **kwargs)
 #   ("backend_get", shard_id, attr)                -> getattr(shard.megaflows, attr)
@@ -302,6 +325,7 @@ _BACKEND_GET = frozenset(
         "n_masks",
         "n_entries",
         "check_invariants",
+        "scan_kernel_name",
     }
 )
 _BACKEND_CALL = frozenset(
@@ -386,29 +410,84 @@ def _worker_handle(op: tuple, table: FlowTable, rules_by_id: dict, shards: dict[
     raise SwitchError(f"unknown worker op {kind!r}")
 
 
+def _worker_shm_batch(
+    seq: int,
+    submit: "ShmRing",
+    complete: "ShmRing",
+    shards: dict[int, Datapath],
+):
+    """Serve one doorbell: decode the ring record, process, reply.
+
+    The verdicts go back through the complete ring when they fit
+    (``("ring", seq)``), otherwise inline over the pipe (``("pipe",
+    results)``) — either way the pipe reply is the completion signal.
+    """
+    payload = submit.try_read()
+    if payload is None:
+        raise SwitchError(f"shm doorbell {seq} arrived with an empty submit ring")
+    jobs, now = decode_batch(payload, seq)
+    # The wire matrix IS the kernel's key layout: hand it to the scanner
+    # as the precomputed row matrix so the scan never re-derives it.
+    results = [
+        (sid, shards[sid].process_batch(keys, now=now, rows=rows))
+        for sid, keys, rows in jobs
+    ]
+    if encode_verdicts(complete, seq, results):
+        return ("ring", seq)
+    return ("pipe", results)
+
+
 def _worker_main(
     conn: "Connection",
     shard_ids: tuple[int, ...],
     init_rules: list,
     config: DatapathConfig,
+    ring_names: tuple[str, str] | None = None,
+    pin_cpu: int | None = None,
 ) -> None:
     """One worker process: replica flow table + its owned shards, forever."""
+    if pin_cpu is not None:
+        try:
+            os.sched_setaffinity(0, {pin_cpu})
+        except (AttributeError, OSError, ValueError):
+            pin_cpu = None  # affinity is best-effort; report what held
+    submit = complete = None
+    if ring_names is not None:
+        submit = ShmRing.attach(ring_names[0])
+        complete = ShmRing.attach(ring_names[1])
     rules_by_id = {rid: rule for rid, rule in init_rules}
     table = FlowTable(rules=[rule for _, rule in init_rules], name="pmd-worker-replica")
     shards = {sid: Datapath(table, config) for sid in shard_ids}
-    while True:
-        try:
-            op = conn.recv()
-        except (EOFError, OSError):  # parent died; nothing left to serve
-            return
-        if op[0] == "close":
-            conn.send(("ok", None))
-            conn.close()
-            return
-        try:
-            conn.send(("ok", _worker_handle(op, table, rules_by_id, shards)))
-        except Exception as exc:  # ship the failure; keep serving
-            conn.send(("err", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+    try:
+        while True:
+            try:
+                op = conn.recv()
+            except (EOFError, OSError):  # parent died; nothing left to serve
+                return
+            if op[0] == "close":
+                conn.send(("ok", None))
+                conn.close()
+                return
+            try:
+                if op[0] == "shm_batch":
+                    value = _worker_shm_batch(op[1], submit, complete, shards)
+                elif op[0] == "worker_info":
+                    value = {
+                        "pid": os.getpid(),
+                        "shards": shard_ids,
+                        "transport": "shm" if submit is not None else "pipe",
+                        "affinity": pin_cpu,
+                    }
+                else:
+                    value = _worker_handle(op, table, rules_by_id, shards)
+                conn.send(("ok", value))
+            except Exception as exc:  # ship the failure; keep serving
+                conn.send(("err", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+    finally:
+        if submit is not None:
+            submit.close()
+        if complete is not None:
+            complete.close()
 
 
 class BackendProxy:
@@ -454,6 +533,10 @@ class BackendProxy:
     @property
     def check_invariants(self) -> bool:
         return self._get("check_invariants")
+
+    @property
+    def scan_kernel_name(self) -> str:
+        return self._get("scan_kernel_name")
 
     # size
     @property
@@ -626,9 +709,29 @@ class ProcessShardExecutor(ShardExecutor):
 
     name = "process"
 
-    def __init__(self, workers: int | None = None) -> None:
+    #: Per-direction ring capacity under the ``shm`` transport.
+    DEFAULT_RING_BYTES = 1 << 20
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        transport: str = "shm",
+        pinning: Sequence[int] = (),
+        ring_bytes: int = DEFAULT_RING_BYTES,
+    ) -> None:
         super().__init__()
+        if transport not in ("shm", "pipe"):
+            raise SwitchError(
+                f"unknown process transport {transport!r}; known: pipe, shm"
+            )
         self._requested_workers = workers
+        self._transport = transport
+        self._pinning = tuple(pinning)
+        self._ring_bytes = ring_bytes
+        self._submit_rings: list = []  # parent writes batches
+        self._complete_rings: list = []  # parent reads verdicts
+        self._seq = itertools.count(1)
+        self._last_ops: dict[int, str] = {}  # wid -> last op completed by worker
         self._conns: list = []
         self._procs: list = []
         self._worker_of: dict[int, int] = {}
@@ -637,6 +740,11 @@ class ProcessShardExecutor(ShardExecutor):
         self._rule_ids: dict[int, tuple[int, object]] = {}  # id(rule) -> (rid, rule)
         self._next_rule_id = 0
         self._closed = False
+
+    @property
+    def transport(self) -> str:
+        """The data-plane transport actually in use (``shm`` or ``pipe``)."""
+        return self._transport
 
     @property
     def n_workers(self) -> int:
@@ -657,12 +765,28 @@ class ProcessShardExecutor(ShardExecutor):
             assignment[shard_id % n_workers].append(shard_id)
             self._worker_of[shard_id] = shard_id % n_workers
         init_rules = [(self._rule_id(rule), rule) for rule in flow_table.rules_by_priority()]
+        if self._transport == "shm":
+            try:
+                for _ in range(n_workers):
+                    self._submit_rings.append(ShmRing.create(self._ring_bytes))
+                    self._complete_rings.append(ShmRing.create(self._ring_bytes))
+            except OSError:  # no usable /dev/shm: degrade, don't die
+                for ring in self._submit_rings + self._complete_rings:
+                    ring.close()
+                self._submit_rings = []
+                self._complete_rings = []
+                self._transport = "pipe"
         ctx = self._context()
         for wid in range(n_workers):
             parent_conn, child_conn = ctx.Pipe()
+            ring_names = None
+            if self._transport == "shm":
+                ring_names = (self._submit_rings[wid].name, self._complete_rings[wid].name)
+            pin_cpu = self._pinning[wid % len(self._pinning)] if self._pinning else None
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, tuple(assignment[wid]), init_rules, config),
+                args=(child_conn, tuple(assignment[wid]), init_rules, config,
+                      ring_names, pin_cpu),
                 name=f"pmd-worker-{wid}",
                 daemon=True,
             )
@@ -718,18 +842,42 @@ class ProcessShardExecutor(ShardExecutor):
         if self._closed or not self._conns:
             raise SwitchError("process executor is closed")
 
+    def _worker_died(self, wid: int, op_name: str, exc: Exception) -> ExecutorError:
+        """A descriptive :class:`ExecutorError` for a dead worker.
+
+        A dead worker used to surface as the raw pipe ``EOFError`` /
+        ``BrokenPipeError``; name the worker, its shards, its exit code and
+        the last op it completed so the failure is attributable.
+        """
+        proc = self._procs[wid] if wid < len(self._procs) else None
+        exitcode = None
+        if proc is not None:
+            proc.join(timeout=0.1)
+            exitcode = proc.exitcode
+        shards = list(self._shards_of.get(wid, ()))
+        last = self._last_ops.get(wid, "<none>")
+        return ExecutorError(
+            f"pmd worker {wid} (shards {shards}) died during op {op_name!r} "
+            f"(exit code {exitcode}, last completed op {last!r}): "
+            f"{type(exc).__name__}: {exc}"
+        )
+
+    def _send(self, wid: int, op: tuple) -> None:
+        try:
+            self._conns[wid].send(op)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._worker_died(wid, op[0], exc) from exc
+
     def _request(self, wid: int, op: tuple):
         self._check_open()
-        conn = self._conns[wid]
+        self._send(wid, op)
         try:
-            conn.send(op)
-            status, value = conn.recv()
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            raise SwitchError(
-                f"pmd worker {wid} died (op {op[0]!r}): {exc}"
-            ) from exc
+            status, value = self._conns[wid].recv()
+        except (EOFError, OSError) as exc:
+            raise self._worker_died(wid, op[0], exc) from exc
         if status == "err":
             raise SwitchError(f"pmd worker {wid} failed op {op[0]!r}:\n{value}")
+        self._last_ops[wid] = op[0]
         return value
 
     def _shard_request(self, shard_id: int, op: tuple):
@@ -741,24 +889,27 @@ class ProcessShardExecutor(ShardExecutor):
         queued, or the next request would read a stale answer."""
         replies: dict[int, object] = {}
         errors: list[str] = []
+        died = False
         for wid in wids:
             try:
                 status, value = self._conns[wid].recv()
             except (EOFError, OSError) as exc:
-                errors.append(f"pmd worker {wid} died (op {op_name!r}): {exc}")
+                errors.append(str(self._worker_died(wid, op_name, exc)))
+                died = True
                 continue
             if status == "err":
                 errors.append(f"pmd worker {wid} failed op {op_name!r}:\n{value}")
             else:
                 replies[wid] = value
+                self._last_ops[wid] = op_name
         if errors:
-            raise SwitchError("; ".join(errors))
+            raise (ExecutorError if died else SwitchError)("; ".join(errors))
         return replies
 
     def _broadcast(self, op: tuple) -> list:
         self._check_open()
-        for conn in self._conns:
-            conn.send(op)
+        for wid in range(len(self._conns)):
+            self._send(wid, op)
         replies = self._gather(list(range(len(self._conns))), op[0])
         return [replies[wid] for wid in range(len(self._conns))]
 
@@ -771,14 +922,41 @@ class ProcessShardExecutor(ShardExecutor):
         for shard_id, keys in sorted(buckets.items()):
             jobs_by_worker.setdefault(self._worker_of[shard_id], []).append((shard_id, keys))
         # Scatter to every involved worker first, then gather — this is
-        # where the parallelism comes from.
+        # where the parallelism comes from.  Under the shm transport the
+        # batch record goes into the worker's submit ring and only a
+        # ("shm_batch", seq) doorbell crosses the pipe; a batch that does
+        # not fit (oversized, or the worker lags) falls back to the
+        # pickled pipe message — same verdicts either way.
+        ring_seq: dict[int, int] = {}
         for wid, jobs in jobs_by_worker.items():
-            self._conns[wid].send(("batch", jobs, now))
+            if self._submit_rings:
+                seq = next(self._seq)
+                if encode_batch(self._submit_rings[wid], seq, jobs, now):
+                    ring_seq[wid] = seq
+                    self._send(wid, ("shm_batch", seq))
+                    continue
+            self._send(wid, ("batch", jobs, now))
         merged: dict[int, BatchVerdicts] = {}
-        for value in self._gather(list(jobs_by_worker), "batch").values():
+        for wid, value in self._gather(list(jobs_by_worker), "batch").items():
+            if wid in ring_seq:
+                kind, data = value
+                if kind == "ring":
+                    payload = self._complete_rings[wid].try_read()
+                    if payload is None:
+                        raise SwitchError(
+                            f"pmd worker {wid} signalled ring verdicts for batch "
+                            f"{data} but the complete ring is empty"
+                        )
+                    value = decode_verdicts(payload, ring_seq[wid])
+                else:  # worker's complete ring was full; verdicts came inline
+                    value = data
             for shard_id, verdicts in value:
                 merged[shard_id] = verdicts
         return merged
+
+    def worker_info(self) -> list[dict]:
+        """Per-worker {pid, shards, transport, affinity}, by worker id."""
+        return self._broadcast(("worker_info",))
 
     def core_report(self) -> list[CoreReport]:
         by_shard: dict[int, CoreReport] = {}
@@ -803,11 +981,15 @@ class ProcessShardExecutor(ShardExecutor):
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
+        for ring in self._submit_rings + self._complete_rings:
+            ring.close()  # owner side: releases the mapping and unlinks
+        self._submit_rings = []
+        self._complete_rings = []
         self._conns = []
         self._procs = []
 
     def describe(self) -> str:
-        return f"{self.name}[{self.n_workers} workers]"
+        return f"{self.name}[{self.n_workers} workers]/{self._transport}"
 
     def __del__(self):  # pragma: no cover - best-effort cleanup
         try:
@@ -835,13 +1017,23 @@ def shard_executor_names() -> tuple[str, ...]:
     return tuple(sorted(_SHARD_EXECUTORS))
 
 
-def make_shard_executor(name: str, workers: int | None = None) -> ShardExecutor:
+def make_shard_executor(
+    name: str,
+    workers: int | None = None,
+    transport: str | None = None,
+    pinning: Sequence[int] = (),
+) -> ShardExecutor:
     """Build a shard executor by registry name.
 
     Args:
         name: registered strategy (``"serial"``, ``"thread"``, ``"process"``).
         workers: worker cap for pooled strategies (``None``/0 → one per
             shard); ignored by ``serial``.
+        transport: data-plane transport for ``process`` (``"shm"`` default,
+            ``"pipe"`` for the PR 5 pickled path); ignored by in-process
+            strategies.
+        pinning: CPU ids to pin ``process`` workers to, round-robin;
+            ignored by in-process strategies.
     """
     factory = _SHARD_EXECUTORS.get(name)
     if factory is None:
@@ -849,4 +1041,10 @@ def make_shard_executor(name: str, workers: int | None = None) -> ShardExecutor:
         raise SwitchError(f"unknown shard executor {name!r}; known: {known}")
     if factory is SerialShardExecutor:
         return factory()
+    if factory is ProcessShardExecutor:
+        return factory(
+            workers=workers or None,
+            transport=transport or "shm",
+            pinning=tuple(pinning),
+        )
     return factory(workers=workers or None)

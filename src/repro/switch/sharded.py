@@ -116,7 +116,10 @@ class ShardedDatapath:
             executor = self.config.executor
         if isinstance(executor, str):
             executor = make_shard_executor(
-                executor, workers=self.config.executor_workers or None
+                executor,
+                workers=self.config.executor_workers or None,
+                transport=self.config.executor_transport,
+                pinning=self.config.executor_pinning,
             )
         self.executor: ShardExecutor = executor
         # The executor owns shard placement: in-process shards subscribe

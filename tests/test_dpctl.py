@@ -93,3 +93,47 @@ class TestHistogram:
     def test_empty(self):
         datapath = Datapath(DP.build_table())
         assert mask_histogram(datapath) == {}
+
+
+class TestExecutorLine:
+    def test_renders_transport_and_kernel(self):
+        from repro.classifier.kernel import resolve_scan_kernel_name
+        from repro.switch.sharded import ShardedDatapath
+
+        table = SIPDP.build_table()
+        datapath = ShardedDatapath(
+            table,
+            DatapathConfig(microflow_capacity=0, executor="process"),
+            n_shards=2,
+        )
+        try:
+            text = show(datapath)
+            kernel = resolve_scan_kernel_name("auto")
+            assert f"pmd executor: process[2 workers]/shm, kernel={kernel}" in text
+        finally:
+            datapath.close()
+
+    def test_renders_numpy_kernel_when_selected(self):
+        from repro.switch.sharded import ShardedDatapath
+
+        table = SIPDP.build_table()
+        datapath = ShardedDatapath(
+            table,
+            DatapathConfig(microflow_capacity=0, scan_kernel="numpy"),
+            n_shards=2,
+        )
+        assert "pmd executor: serial, kernel=numpy" in show(datapath)
+
+    def test_kernelless_backend_renders_none(self):
+        from repro.switch.sharded import ShardedDatapath
+
+        backends = [b for b in megaflow_backend_names() if b != "tss"]
+        if not backends:
+            pytest.skip("only the tss backend is registered")
+        table = SIPDP.build_table()
+        datapath = ShardedDatapath(
+            table,
+            DatapathConfig(microflow_capacity=0, megaflow_backend=backends[0]),
+            n_shards=2,
+        )
+        assert "kernel=none" in show(datapath)

@@ -28,12 +28,12 @@ from repro.classifier.rule import Match
 from repro.core.mitigation import MFCGuard, MFCGuardConfig
 from repro.core.tracegen import ColocatedTraceGenerator
 from repro.core.usecases import SIPDP
-from repro.exceptions import SwitchError
+from repro.exceptions import ExecutorError, SwitchError
 from repro.netsim.cloud import SYNTHETIC_ENV, EnvironmentProfile, Server
 from repro.netsim.hypervisor import HypervisorHost
 from repro.packet.fields import FlowKey
 from repro.packet.headers import PROTO_TCP
-from repro.switch.datapath import DatapathConfig
+from repro.switch.datapath import Datapath, DatapathConfig
 from repro.switch.dpctl import dump_flows, show
 from repro.switch.executor import (
     ProcessShardExecutor,
@@ -42,6 +42,13 @@ from repro.switch.executor import (
 )
 from repro.switch.revalidator import Revalidator
 from repro.switch.sharded import ShardedDatapath
+from repro.switch.shm_ring import (
+    ShmRing,
+    decode_batch,
+    decode_verdicts,
+    encode_batch,
+    encode_verdicts,
+)
 
 BACKENDS = megaflow_backend_names()
 PARALLEL = ("thread", "process")
@@ -359,7 +366,7 @@ class TestConfigPlumbing:
         server = Server("s1", environment)
         try:
             assert isinstance(server.datapath, ShardedDatapath)
-            assert server.datapath.executor_name == "process[2 workers]"
+            assert server.datapath.executor_name == "process[2 workers]/shm"
             assert isinstance(server.datapath.executor, ProcessShardExecutor)
         finally:
             server.close()
@@ -402,3 +409,141 @@ class TestHypervisorCharges:
             assert b.per_core_load == pytest.approx(a.per_core_load, rel=1e-12)
         finally:
             b.datapath.close()
+
+
+class TestShmTransport:
+    """The zero-copy shared-memory data plane (repro.switch.shm_ring)."""
+
+    def test_ring_roundtrip_and_wraparound(self):
+        ring = ShmRing.create(4096)
+        try:
+            assert ring.try_read() is None
+            assert ring.try_write([b"hello ", b"world"])
+            assert ring.try_read() == b"hello world"
+            assert ring.try_read() is None
+            # Records eventually straddle the end of the buffer; payloads
+            # must survive the split copy for many laps.
+            rng = np.random.default_rng(3)
+            for lap in range(64):
+                blob = rng.integers(0, 256, size=int(rng.integers(1, 3000))).astype(
+                    np.uint8
+                ).tobytes()
+                assert ring.try_write([blob]), lap
+                assert ring.try_read() == blob, lap
+        finally:
+            ring.close()
+
+    def test_ring_rejects_oversized_and_fills_up(self):
+        ring = ShmRing.create(4096)
+        try:
+            assert not ring.try_write([b"x" * (ring.capacity + 1)])
+            written = 0
+            while ring.try_write([b"y" * 512]):
+                written += 1
+            assert written >= 3  # several records fit...
+            assert ring.try_read() == b"y" * 512  # ...and drain FIFO
+            assert ring.try_write([b"z" * 512])  # freed space is reusable
+        finally:
+            ring.close()
+
+    def test_torn_batch_detected_by_sequence_number(self):
+        ring = ShmRing.create(8192)
+        try:
+            keys = [FlowKey(ip_src=1, tp_dst=80, ip_proto=6)]
+            assert encode_batch(ring, 7, [(0, keys)], 1.0)
+            with pytest.raises(SwitchError, match="out of sequence"):
+                decode_batch(ring.try_read(), 8)
+            bv = Datapath(
+                small_table(), DatapathConfig(microflow_capacity=0)
+            ).process_batch(keys)
+            assert encode_verdicts(ring, 9, [(0, bv)])
+            with pytest.raises(SwitchError, match="out of sequence"):
+                decode_verdicts(ring.try_read(), 10)
+        finally:
+            ring.close()
+
+    def test_pipe_transport_equivalence(self):
+        """transport="pipe" (the PR 5 path) stays verdict-identical."""
+        table, keys = staircase_replay(extra=40)
+        reference = build("serial", table, n_shards=2)
+        expected = reference.process_batch(keys, now=1.0)
+        other = build(
+            "process",
+            FlowTable(rules=list(table)),
+            n_shards=2,
+            executor_transport="pipe",
+        )
+        try:
+            assert other.executor.transport == "pipe"
+            assert other.executor_name.endswith("/pipe")
+            got = other.process_batch(keys, now=1.0)
+            assert_equivalent(reference, other, expected, got, "pipe-transport")
+        finally:
+            other.close()
+
+    def test_oversized_batch_falls_back_to_pipe(self):
+        """A batch too big for its ring ships over the pipe, same verdicts."""
+        table, keys = staircase_replay(extra=40)
+        reference = build("serial", table, n_shards=2)
+        expected = reference.process_batch(keys, now=1.0)
+        executor = ProcessShardExecutor(transport="shm", ring_bytes=4096)
+        other = ShardedDatapath(
+            FlowTable(rules=list(table)),
+            DatapathConfig(microflow_capacity=0, executor="process"),
+            n_shards=2,
+            executor=executor,
+        )
+        try:
+            # ~600 keys x 15 columns x 8 bytes per shard — far over 4 KiB
+            # of ring, so every doorbell attempt must take the pipe path.
+            got = other.process_batch(keys, now=1.0)
+            assert_equivalent(reference, other, expected, got, "ring-overflow")
+        finally:
+            other.close()
+
+    def test_worker_info_reports_transport_and_pinning(self):
+        table = small_table()
+        executor = ProcessShardExecutor(workers=2, transport="shm", pinning=(0, 0))
+        datapath = ShardedDatapath(
+            table,
+            DatapathConfig(microflow_capacity=0, executor="process"),
+            n_shards=2,
+            executor=executor,
+        )
+        try:
+            info = executor.worker_info()
+            assert [w["shards"] for w in info] == [(0,), (1,)]
+            assert all(w["transport"] == "shm" for w in info)
+            # CPU 0 exists everywhere; pinning is best-effort but on Linux
+            # sched_setaffinity(0, {0}) succeeds.
+            assert all(w["affinity"] in (0, None) for w in info)
+            assert len({w["pid"] for w in info}) == 2
+        finally:
+            datapath.close()
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(SwitchError, match="unknown process transport"):
+            ProcessShardExecutor(transport="carrier-pigeon")
+
+    def test_dead_worker_raises_descriptive_executor_error(self):
+        """A killed worker surfaces as ExecutorError naming shard and op,
+        not as a raw pipe EOFError."""
+        table = small_table()
+        datapath = build("process", table, n_shards=2)
+        try:
+            datapath.process_batch([FlowKey(ip_src=9, tp_dst=80, ip_proto=6)])
+            executor = datapath.executor
+            executor._procs[1].kill()
+            executor._procs[1].join(timeout=5.0)
+            with pytest.raises(ExecutorError) as excinfo:
+                # Drive both workers so the dead one must answer.
+                datapath.process_batch(
+                    [FlowKey(ip_src=i, tp_dst=80, ip_proto=6) for i in range(16)]
+                )
+            message = str(excinfo.value)
+            assert "pmd worker 1" in message
+            assert "shards [1]" in message
+            assert "died during op" in message
+            assert "last completed op" in message
+        finally:
+            datapath.close()

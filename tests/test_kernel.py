@@ -1,0 +1,220 @@
+"""Scan-kernel differential tests: cffi ≡ numpy ≡ sequential dict-truth.
+
+The kernels in :mod:`repro.classifier.kernel` are pure accelerators — they
+only *propose* filter-hit candidates, and every candidate is confirmed
+against the per-mask dicts — so no kernel choice may ever change a lookup
+outcome, a ``masks_inspected`` count, or a statistics counter.  These
+tests drive identical install / lookup / shuffle / salt-growth traces
+through a numpy-kernel TSS, a cffi-kernel TSS (when the toolchain built
+it) and a sequential per-key reference, and require transcript equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifier.actions import ALLOW
+from repro.classifier.backend import MegaflowEntry
+from repro.classifier.kernel import (
+    FORCE_NUMPY_ENV,
+    N_COLUMNS,
+    cffi_kernel_available,
+    make_scan_kernel,
+    resolve_scan_kernel_name,
+    row_hash,
+    scan_kernel_names,
+    to_column_matrix,
+    to_columns,
+)
+from repro.classifier.tss import TupleSpaceSearch
+from repro.packet.fields import FlowKey, FlowMask
+
+CFFI_AVAILABLE = cffi_kernel_available()
+needs_cffi = pytest.mark.skipif(
+    not CFFI_AVAILABLE, reason="cffi scan kernel unavailable (no compiler?)"
+)
+
+KERNELS = ("numpy", "cffi") if CFFI_AVAILABLE else ("numpy",)
+
+
+def _prefix(bits: int, width: int = 32) -> int:
+    return ((1 << bits) - 1) << (width - bits) if bits else 0
+
+
+# Masks differ in ip_src/ip_dst prefix length but all pin tp_dst exactly;
+# entries get globally unique tp_dst values, so every pair of entries is
+# disjoint (Inv(2)) by construction whatever hypothesis draws.
+MASK_SPACE = [
+    (src_bits, dst_bits) for src_bits in (0, 8, 16, 24, 32) for dst_bits in (0, 16, 32)
+]
+
+
+def _mask(src_bits: int, dst_bits: int) -> FlowMask:
+    return FlowMask(
+        ip_src=_prefix(src_bits), ip_dst=_prefix(dst_bits), tp_dst=0xFFFF
+    )
+
+
+def _entry(mask_pick: int, src: int, dst: int, tp_dst: int) -> MegaflowEntry:
+    src_bits, dst_bits = MASK_SPACE[mask_pick % len(MASK_SPACE)]
+    mask = _mask(src_bits, dst_bits)
+    key = FlowKey(ip_src=src, ip_dst=dst, tp_dst=tp_dst).masked(mask)
+    return MegaflowEntry(mask=mask, key=key, action=ALLOW)
+
+
+def _summarise(result) -> tuple:
+    entry = result.entry
+    return (
+        result.hit,
+        None if entry is None else (entry.mask.values, entry.key),
+        result.masks_inspected,
+    )
+
+
+def _drive(kernel: str, entries, probes, shuffle_seed: int) -> tuple:
+    """One full trace through a TSS instance; returns its transcript."""
+    tss = TupleSpaceSearch(scan_kernel=kernel)
+    transcript = []
+    half = len(entries) // 2
+    for entry in entries[:half]:
+        tss.insert(MegaflowEntry(mask=entry.mask, key=entry.key, action=entry.action))
+    transcript.append([_summarise(r) for r in tss.lookup_batch(probes, now=1.0)])
+    for entry in entries[half:]:
+        tss.insert(MegaflowEntry(mask=entry.mask, key=entry.key, action=entry.action))
+    transcript.append([_summarise(r) for r in tss.lookup_batch(probes, now=2.0)])
+    tss.shuffle_masks(seed=shuffle_seed)
+    transcript.append([_summarise(r) for r in tss.lookup_batch(probes, now=3.0)])
+    transcript.append(
+        (tss.stats_hits, tss.stats_misses, tss.stats_scans, tss.stats_scan_probes)
+    )
+    return tuple(map(tuple, transcript[:-1])) + (transcript[-1],)
+
+
+def _drive_sequential(entries, probes, shuffle_seed: int) -> tuple:
+    """The dict-truth reference: the same trace, one ``lookup`` at a time."""
+    tss = TupleSpaceSearch(scan_kernel="numpy")
+    transcript = []
+    half = len(entries) // 2
+    for entry in entries[:half]:
+        tss.insert(MegaflowEntry(mask=entry.mask, key=entry.key, action=entry.action))
+    transcript.append(tuple(_summarise(tss.lookup(k, now=1.0)) for k in probes))
+    for entry in entries[half:]:
+        tss.insert(MegaflowEntry(mask=entry.mask, key=entry.key, action=entry.action))
+    transcript.append(tuple(_summarise(tss.lookup(k, now=2.0)) for k in probes))
+    tss.shuffle_masks(seed=shuffle_seed)
+    transcript.append(tuple(_summarise(tss.lookup(k, now=3.0)) for k in probes))
+    transcript.append(
+        (tss.stats_hits, tss.stats_misses, tss.stats_scans, tss.stats_scan_probes)
+    )
+    return tuple(transcript)
+
+
+class TestDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        draws=st.lists(
+            st.tuples(
+                st.integers(0, len(MASK_SPACE) - 1),  # mask pick
+                st.integers(0, 0xFFFFFFFF),  # ip_src
+                st.integers(0, 0xFFFFFFFF),  # ip_dst
+            ),
+            min_size=1,
+            max_size=24,
+        ),
+        miss_probes=st.lists(
+            st.tuples(st.integers(0, 0xFFFFFFFF), st.integers(2000, 0xFFFF)),
+            max_size=8,
+        ),
+        shuffle_seed=st.integers(0, 5),
+    )
+    def test_kernels_and_sequential_agree(self, draws, miss_probes, shuffle_seed):
+        """Hypothesis: random install/lookup/shuffle traces are transcript-
+        identical across kernels, batch and sequential."""
+        entries = [
+            _entry(pick, src, dst, tp_dst=index)  # unique tp_dst => disjoint
+            for index, (pick, src, dst) in enumerate(draws)
+        ]
+        probes = [FlowKey.from_values(e.key) for e in entries] + [
+            FlowKey(ip_src=src, tp_dst=tp_dst) for src, tp_dst in miss_probes
+        ]
+        reference = _drive_sequential(entries, probes, shuffle_seed)
+        for kernel in KERNELS:
+            assert _drive(kernel, entries, probes, shuffle_seed) == reference, kernel
+
+    @needs_cffi
+    def test_salt_growth_past_64_masks(self):
+        """> 64 masks forces the append-only salt buffer to grow; the cffi
+        and numpy kernels must track the identical salt sequence."""
+        entries = []
+        for index in range(90):  # 90 distinct (src, dst) prefix pairs
+            mask = FlowMask(
+                ip_src=_prefix(index % 33),
+                ip_dst=_prefix(index // 33 + 1),
+                tp_dst=0xFFFF,
+            )
+            key = FlowKey(
+                ip_src=(37 * index) & 0xFFFFFFFF,
+                ip_dst=(91 * index) & 0xFFFFFFFF,
+                tp_dst=index,
+            ).masked(mask)
+            entries.append(MegaflowEntry(mask=mask, key=key, action=ALLOW))
+        probes = [FlowKey.from_values(e.key) for e in entries]
+        probes += [FlowKey(ip_src=index, tp_dst=5000 + index) for index in range(20)]
+        reference = _drive_sequential(entries, probes, shuffle_seed=3)
+        assert _drive("numpy", entries, probes, 3) == reference
+        assert _drive("cffi", entries, probes, 3) == reference
+        # The trace really did cross the growth threshold.
+        tss = TupleSpaceSearch()
+        for entry in entries:
+            tss.insert(entry)
+        assert tss.n_masks > 64
+
+
+class TestSelection:
+    def test_registry_names(self):
+        names = scan_kernel_names()
+        assert names[0] == "auto"
+        assert {"numpy", "cffi"} <= set(names)
+
+    def test_auto_resolution(self):
+        resolved = resolve_scan_kernel_name("auto")
+        assert resolved == ("cffi" if CFFI_AVAILABLE else "numpy")
+        assert make_scan_kernel("auto").name == resolved
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            make_scan_kernel("turbo")
+
+    def test_forced_numpy_fallback(self, monkeypatch):
+        monkeypatch.setenv(FORCE_NUMPY_ENV, "1")
+        assert resolve_scan_kernel_name("auto") == "numpy"
+        assert make_scan_kernel("auto").name == "numpy"
+        with pytest.raises(RuntimeError):
+            make_scan_kernel("cffi")
+
+    def test_tss_reports_kernel_name(self):
+        tss = TupleSpaceSearch(scan_kernel="numpy")
+        assert tss.scan_kernel_name == "numpy"
+        auto = TupleSpaceSearch()
+        assert auto.scan_kernel_name == resolve_scan_kernel_name("auto")
+
+    @needs_cffi
+    def test_explicit_cffi_selection(self):
+        assert TupleSpaceSearch(scan_kernel="cffi").scan_kernel_name == "cffi"
+
+
+class TestLayout:
+    def test_column_round_trip(self):
+        key = FlowKey(
+            ip_src=0x0A0B0C0D,
+            tp_dst=443,
+            ipv6_src=(1 << 127) | 0xDEADBEEF,  # exercises the hi/lo split
+        )
+        row = to_columns(key.values)
+        assert row.shape == (N_COLUMNS,)
+        matrix = to_column_matrix([key.values])
+        assert matrix.shape == (1, N_COLUMNS)
+        assert (matrix[0] == row).all()
+        assert row_hash(row) == row_hash(matrix[0])

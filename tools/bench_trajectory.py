@@ -59,6 +59,9 @@ DEFAULT_RULES: tuple[tuple[str, str, float], ...] = (
     # lower is better; floor ratios measure a defense win: higher better).
     (r"^insert_ratio", "lower", 0.75),
     (r"floor_ratio", "higher", 0.35),
+    # Transport guard: the shm data plane must keep beating the pickled
+    # pipe; a drop here means the zero-copy path regressed.
+    (r"shm_over_pipe", "higher", 0.35),
     # Everything else numeric is deterministic simulation output.
     (r".", "equal", 0.02),
 )

@@ -1,0 +1,147 @@
+"""Live backend migration benchmarks: swap identity + online recovery.
+
+Two guards, persisted to ``results/BENCH_migration.json``:
+
+* **Swap verdict identity** — a detonated TSS datapath is rebuilt as
+  ``tuplechain`` in bounded slices (with fresh flows installed mid-rebuild
+  to exercise the delta journal) and atomically swapped.  The post-swap
+  replay must agree action-for-action with a never-migrated tuplechain
+  datapath fed the identical history, and the swap must preserve the exact
+  entry and mask counts.  Verdicts are the only cross-backend comparable
+  quantity — scan/probe counters are backend-native units.
+* **Online victim-floor recovery** — the ``migrationsweep`` hybrid policy
+  (MFCGuard holds the line while the cost-plane-driven rebuild races, then
+  stands down) must claw the victim's floor back to at least
+  ``RECOVERED_FLOOR_RATIO`` times the undefended TSS floor *while the
+  attack is still running*, and the recovery must land within seconds of
+  the collapse.
+
+``REPRO_BENCH_SMOKE=1`` shortens the simulated window and relaxes the
+ratio (the detonation still explodes fully; the floors just settle over
+fewer ticks) and publishes to ``BENCH_migration.smoke.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_migration.py -q -s
+"""
+
+from __future__ import annotations
+
+from common import SMOKE, publish, section62_trace, warmed
+from repro.classifier.backend import backend_name_of
+from repro.experiments.migrationsweep import run_policy_cell
+
+# The hybrid policy's recovered victim floor vs the undefended TSS floor.
+RECOVERED_FLOOR_RATIO = 25.0 if SMOKE else 100.0
+
+# The recovery must land this many seconds after the collapse, at most —
+# the rebuild is bounded-slice work over ~1.4k entries, not a restart.
+MAX_TIME_TO_RECOVER_S = 5.0
+
+SWEEP = dict(
+    use_case_name="SipSpDp",
+    duration=25.0 if SMOKE else 40.0,
+    attack_start=3.0 if SMOKE else 5.0,
+    attack_stop=20.0 if SMOKE else 35.0,
+    attack_pps=1200.0,
+)
+
+
+def _replay_actions(datapath, keys):
+    """The verdict list for a memo-less replay (actions only: the one
+    quantity that must be identical across backends)."""
+    datapath.megaflows.clear_memo()
+    return [verdict.action for verdict in datapath.process_batch(keys)]
+
+
+def test_swap_verdict_identity():
+    """Post-swap replay agrees with a never-migrated tuplechain datapath."""
+    keys = section62_trace()
+    migrating = warmed(keys, backend="tss")
+    reference = warmed(keys, backend="tuplechain")
+
+    expected = _replay_actions(reference, keys)
+    assert _replay_actions(migrating, keys) == expected  # pre-swap agreement
+
+    pre_entries = migrating.megaflows.n_entries
+    pre_masks = migrating.n_masks
+    pre_cost = migrating.scan_cost
+
+    status = migrating.migrate_backend_start("tuplechain", slice_size=256)
+    assert status["status"] == "rebuilding"
+    migrating.migrate_backend_step(512)  # partial rebuild, source still live
+
+    # Fresh flows while the rebuild is in flight: the delta journal must
+    # carry them into the target (the reference sees the same history).
+    extra = section62_trace(seed=7, budget=32)
+    migrating.process_batch(extra)
+    reference.process_batch(extra)
+    delta_entries = migrating.megaflows.n_entries - pre_entries
+
+    while True:
+        status = migrating.migrate_backend_step(512)
+        if status["rebuild_done"]:
+            break
+    assert status["journal_replayed"] >= delta_entries
+
+    status = migrating.migrate_backend_swap()
+    assert status["status"] == "swapped"
+    assert status["swaps"] == 1
+    assert backend_name_of(migrating.megaflows) == "tuplechain"
+
+    # The swap preserves the cache exactly: same entries, same masks, and
+    # the replay is verdict-for-verdict the never-migrated tuplechain's.
+    assert migrating.megaflows.n_entries == pre_entries + delta_entries
+    assert migrating.n_masks == pre_masks
+    assert _replay_actions(migrating, keys) == expected
+    assert _replay_actions(migrating, extra) == _replay_actions(reference, extra)
+    # ... and the point of migrating: the scan is no longer mask-priced.
+    assert migrating.scan_cost < pre_cost / 10
+
+
+def test_migration_recovers_victim_floor():
+    """Hybrid recovery lifts the in-attack floor >= the guarded ratio."""
+    cells = {
+        policy: run_policy_cell(policy, **SWEEP) for policy in ("none", "hybrid")
+    }
+    none, hybrid = cells["none"], cells["hybrid"]
+
+    # The detonation really happened: the undefended victim collapsed.
+    assert none["peak_masks"] >= (1000 if SMOKE else 8000), none["peak_masks"]
+    assert none["floor_gbps"] < 0.1 * none["baseline_gbps"]
+    # The controller fired and the swap landed while the attack ran.
+    assert hybrid["swaps"] >= 1
+    assert hybrid["final_backend"] == "tuplechain"
+
+    ratio = hybrid["recovered_floor_gbps"] / max(none["floor_gbps"], 1e-9)
+    time_to_recover = hybrid["time_to_recover_s"]
+
+    publish(
+        "migration",
+        {
+            "workload": "migrationsweep-netsim-sipspdp",
+            "attack_pps": SWEEP["attack_pps"],
+            "attack_window_s": SWEEP["attack_stop"] - SWEEP["attack_start"],
+            "masks": none["peak_masks"],
+            "victim_baseline_gbps": round(none["baseline_gbps"], 3),
+            "none_floor_gbps": round(none["floor_gbps"], 4),
+            "hybrid_recovered_floor_gbps": round(
+                hybrid["recovered_floor_gbps"], 4
+            ),
+            "recovered_floor_ratio": round(ratio, 1),
+            "time_to_recover_s": (
+                round(time_to_recover, 2) if time_to_recover is not None else None
+            ),
+            "swaps": hybrid["swaps"],
+            "entries_deleted": hybrid["entries_deleted"],
+            "peak_rebuild_mb": round(
+                hybrid["peak_rebuild_memory_bytes"] / 1e6, 2
+            ),
+            "final_scan_cost_units": round(hybrid["final_scan_cost"], 1),
+        },
+    )
+
+    # The acceptance ratio — and the recovery happened *during* the attack.
+    assert ratio >= RECOVERED_FLOOR_RATIO, (ratio, RECOVERED_FLOOR_RATIO)
+    assert time_to_recover is not None
+    assert time_to_recover <= MAX_TIME_TO_RECOVER_S, time_to_recover

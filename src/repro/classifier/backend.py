@@ -69,6 +69,7 @@ __all__ = [
     "MegaflowBackend",
     "MegaflowStore",
     "LiveBatchScanner",
+    "BackendRebuild",
     "register_megaflow_backend",
     "megaflow_backend_names",
     "make_megaflow_backend",
@@ -346,6 +347,10 @@ class MegaflowStore:
         # plane's snapshots) and batch ≡ sequential extends to probe stats.
         self.stats_scans = 0
         self.stats_scan_probes = 0
+        # Live rebuilds observing this store (see :class:`BackendRebuild`):
+        # every install/remove/flush that lands while a rebuild is in flight
+        # is journalled so the target backend can replay it.
+        self._rebuild_journals: list["BackendRebuild"] = []
 
     # -- size ----------------------------------------------------------------
     @property
@@ -566,6 +571,8 @@ class MegaflowStore:
         # because previous misses may now hit.
         self._index_insert(entry, new_mask)
         self._memo.clear()
+        for rebuild in self._rebuild_journals:
+            rebuild.note_insert(entry)
         return entry
 
     def _mask_added(self, mask: FlowMask) -> None:
@@ -596,6 +603,8 @@ class MegaflowStore:
             self._mask_order.remove(entry.mask)
             self._mask_removed(entry.mask)
         self._invalidate()
+        for rebuild in self._rebuild_journals:
+            rebuild.note_remove(entry)
         return True
 
     def remove_where(self, predicate: Callable[[MegaflowEntry], bool]) -> list[MegaflowEntry]:
@@ -641,6 +650,8 @@ class MegaflowStore:
         self._mask_order.clear()
         self._flushed()
         self._invalidate()
+        for rebuild in self._rebuild_journals:
+            rebuild.note_flush()
 
     def _flushed(self) -> None:
         """Bookkeeping hook: the whole store was flushed."""
@@ -807,3 +818,194 @@ def backend_name_of(backend: "MegaflowBackend") -> str | None:
         if isinstance(factory, type) and type(backend) is factory:
             return name
     return None
+
+
+# -- live backend-to-backend rebuild ----------------------------------------------
+
+
+class BackendRebuild:
+    """Incrementally rebuild a store's contents into a fresh backend.
+
+    The dicts-as-truth invariant *is* the rebuild contract: the source's
+    per-mask dicts hold every installed entry, so a fresh backend of any
+    registered kind can be reconstructed from them without consulting the
+    old backend's index.  The rebuild is incremental — :meth:`step` copies a
+    bounded slice per call, so the hot path keeps serving lookups from the
+    old backend between slices — and journalled: the source notifies every
+    in-flight rebuild of inserts, removals and flushes that land mid-build,
+    and the journal is replayed in arrival order after each slice.
+
+    The target adopts the source's *entry objects*, not copies.  That keeps
+    every identity-based consumer valid across the swap: the datapath's
+    microflow cache validates via ``find_entry`` (object identity), the
+    kernel mask cache holds entry references, and per-entry statistics
+    (hits, last_used) keep accumulating on the one live object.  The only
+    field :meth:`MegaflowStore.insert` would clobber — ``created_at`` — is
+    saved and restored around the adoption.
+
+    Lifecycle::
+
+        rebuild = BackendRebuild(store, "tuplechain")
+        while not rebuild.done:
+            rebuild.step(max_entries=512)   # bounded work per call
+        target = rebuild.finish()           # verify + detach + stats carry
+
+    :meth:`finish` verifies entry and mask counts match the source (the
+    structural entries-dropped-equals-zero guarantee) and carries the
+    hit/miss counters over so operator-visible statistics survive.  Scan
+    and probe counters are *not* carried: they are denominated in
+    backend-native probe units, which are not comparable across kinds.
+    """
+
+    def __init__(
+        self,
+        source: MegaflowStore,
+        target_kind: str,
+        slice_size: int = 512,
+        **target_kwargs,
+    ):
+        if not isinstance(source, MegaflowStore):
+            raise ClassifierError(
+                f"rebuild source must be a MegaflowStore, got {type(source).__name__}"
+            )
+        if slice_size <= 0:
+            raise ClassifierError(f"slice_size must be positive, got {slice_size}")
+        self.source = source
+        self.target_kind = target_kind
+        self.slice_size = slice_size
+        self.target = make_megaflow_backend(
+            target_kind, check_invariants=source.check_invariants, **target_kwargs
+        )
+        # Snapshot of the entry *objects* at rebuild start.  Entries removed
+        # after the snapshot are skipped at copy time (``find_entry`` says
+        # they left the truth store) and the journal covers everything else.
+        self._snapshot: list[MegaflowEntry] = list(source.entries())
+        self._cursor = 0
+        self._journal: list[tuple[str, MegaflowEntry | None]] = []
+        self.entries_copied = 0
+        self.journal_replayed = 0
+        self._detached = False
+        source._rebuild_journals.append(self)
+
+    # -- journal feed (called by the source store) ---------------------------
+    def note_insert(self, entry: MegaflowEntry) -> None:
+        self._journal.append(("insert", entry))
+
+    def note_remove(self, entry: MegaflowEntry) -> None:
+        self._journal.append(("remove", entry))
+
+    def note_flush(self) -> None:
+        self._journal.append(("flush", None))
+
+    # -- progress ------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Entries in the start-of-rebuild snapshot."""
+        return len(self._snapshot)
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the snapshot copied (1.0 for an empty snapshot)."""
+        if not self._snapshot:
+            return 1.0
+        return self._cursor / len(self._snapshot)
+
+    @property
+    def done(self) -> bool:
+        """True when the snapshot is exhausted and the journal is drained."""
+        return self._cursor >= len(self._snapshot) and not self._journal
+
+    # -- the build -----------------------------------------------------------
+    def _adopt(self, entry: MegaflowEntry) -> None:
+        """Install the source's entry *object* into the target.
+
+        ``insert`` stamps ``created_at = now``; passing ``now=last_used``
+        keeps ``last_used`` exact and the saved ``created_at`` is restored
+        after.  If the target already holds the object (journal replay after
+        the snapshot copy reached it), insert's refresh path returns the
+        existing object with ``last_used`` untouched — a harmless no-op.
+        """
+        created = entry.created_at
+        stored = self.target.insert(entry, now=entry.last_used)
+        if stored is entry:
+            entry.created_at = created
+
+    def _drain_journal(self) -> None:
+        # Replaying an insert can itself be observed by *other* rebuilds,
+        # never by this one (notifications come from the source store only).
+        while self._journal:
+            ops, self._journal = self._journal, []
+            for op, entry in ops:
+                self.journal_replayed += 1
+                if op == "insert":
+                    self._adopt(entry)
+                elif op == "remove":
+                    self.target.remove(entry)
+                else:  # flush
+                    self.target.flush()
+
+    def step(self, max_entries: int | None = None) -> int:
+        """Copy up to ``max_entries`` snapshot entries, then drain the journal.
+
+        Returns the number of snapshot entries *visited* (copied or
+        skipped), 0 once the snapshot is exhausted.  Bounded work per call
+        is the point: the caller interleaves steps with live traffic.
+        """
+        budget = self.slice_size if max_entries is None else max_entries
+        visited = 0
+        while visited < budget and self._cursor < len(self._snapshot):
+            entry = self._snapshot[self._cursor]
+            self._cursor += 1
+            visited += 1
+            # Entries that left the truth store since the snapshot (removed,
+            # evicted, flushed) are skipped; the journal already reflects
+            # whatever replaced them.
+            if self.source.find_entry(entry):
+                self._adopt(entry)
+                self.entries_copied += 1
+        self._drain_journal()
+        return visited
+
+    def run_to_completion(self) -> None:
+        while not self.done:
+            self.step()
+
+    def detach(self) -> None:
+        """Stop observing the source (idempotent)."""
+        if not self._detached:
+            self._detached = True
+            try:
+                self.source._rebuild_journals.remove(self)
+            except ValueError:
+                pass
+
+    def finish(self) -> "MegaflowBackend":
+        """Complete the rebuild, verify it, and return the target backend.
+
+        Verifies entry and mask counts against the source — the rebuild is
+        structurally lossless (entries dropped ≡ 0) or it refuses to hand
+        the target over.  Carries ``stats_hits`` / ``stats_misses`` so the
+        operator-visible hit statistics survive the swap; scan/probe
+        counters stay at zero because their units are backend-native.
+        """
+        self.run_to_completion()
+        self.detach()
+        if (
+            self.target.n_entries != self.source.n_entries
+            or self.target.n_masks != self.source.n_masks
+        ):
+            raise ClassifierError(
+                f"rebuild to {self.target_kind!r} diverged from the truth store: "
+                f"target {self.target.n_entries} entries/{self.target.n_masks} masks, "
+                f"source {self.source.n_entries} entries/{self.source.n_masks} masks"
+            )
+        self.target.stats_hits = self.source.stats_hits
+        self.target.stats_misses = self.source.stats_misses
+        return self.target
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else f"{self.progress:.0%}"
+        return (
+            f"BackendRebuild({type(self.source).__name__} -> "
+            f"{self.target_kind}, {state})"
+        )

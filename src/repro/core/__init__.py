@@ -29,6 +29,7 @@ from repro.core.detector import (
     tse_scan_cost_dilution,
 )
 from repro.core.general import GeneralTraceGenerator
+from repro.core.migration import MigrationController, MigrationPolicy, MigrationReport
 from repro.core.mitigation import GuardReport, MFCGuard, MFCGuardConfig
 from repro.core.planner import AttackPlan, plan_colocated, plan_for_cms, plan_general
 from repro.core.tracegen import AdversarialTrace, ColocatedTraceGenerator, bit_inversion_list
@@ -81,6 +82,9 @@ __all__ = [
     "MFCGuard",
     "MFCGuardConfig",
     "GuardReport",
+    "MigrationController",
+    "MigrationPolicy",
+    "MigrationReport",
     "AttackPlan",
     "plan_colocated",
     "plan_general",

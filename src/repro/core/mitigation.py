@@ -207,6 +207,26 @@ class MFCGuard:
             stopped_by_cpu=stopped,
         )
 
+    # -- cooperation with live backend migration ------------------------------------
+    def stand_down_at(self, probe_cost_threshold: float) -> None:
+        """Arm the chain-aware stand-down at ``probe_cost_threshold``.
+
+        How the :class:`~repro.core.migration.MigrationController` realises
+        hybrid mode with no extra mechanism: while the detonated TSS cache
+        keeps the expected scan cost above the threshold the guard cleans
+        as usual (holding the line while the rebuild races), and the
+        moment the cheap-to-scan backend is swapped in the cost collapses
+        below it and the guard stands down on its own.  A deployment that
+        already configured ``probe_cost_threshold`` explicitly keeps its
+        value.
+        """
+        if self.config.probe_cost_threshold is None:
+            from dataclasses import replace
+
+            self.config = replace(
+                self.config, probe_cost_threshold=probe_cost_threshold
+            )
+
     # -- CPU accounting ------------------------------------------------------------
     def projected_cpu_pct(self) -> float:
         """Slow-path CPU implied by the traffic the guard has demoted."""

@@ -8,7 +8,7 @@ them from the command line::
 
 IDs: didactic, fig8a, fig8b, fig8c, fig9a, fig9b, fig9c, section54,
 section62, table1, theorem41, theorem42, ipv6, comparison, mfcguard,
-pmdsweep, backendsweep, cloudsweep.
+pmdsweep, backendsweep, cloudsweep, migrationsweep.
 """
 
 from __future__ import annotations
@@ -28,6 +28,7 @@ from repro.experiments import (
     fig9c,
     ipv6_quirk,
     mfcguard,
+    migrationsweep,
     pmdsweep,
     section54,
     section62,
@@ -60,6 +61,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "pmdsweep": pmdsweep.run,
     "backendsweep": backendsweep.run,
     "cloudsweep": cloudsweep.run,
+    "migrationsweep": migrationsweep.run,
 }
 
 

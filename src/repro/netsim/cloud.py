@@ -23,6 +23,7 @@ from dataclasses import dataclass, field as dc_field, replace as dc_replace
 
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import FlowRule
+from repro.core.migration import MigrationController, MigrationPolicy
 from repro.core.mitigation import MFCGuard, MFCGuardConfig
 from repro.exceptions import SimulationError
 from repro.netsim.cms import BACKENDS, CmsBackend, PolicyRule
@@ -106,6 +107,13 @@ class EnvironmentProfile:
             ``"cffi"``); ``None`` defers to ``datapath.scan_kernel``.
             Kernels are verdict-equivalent by invariant — like ``executor``
             this knob only decides wall-clock speed.
+        migration_policy: optional
+            :class:`~repro.core.migration.MigrationPolicy` — when set,
+            every server built from this profile runs a
+            :class:`~repro.core.migration.MigrationController` in its
+            hypervisor's maintenance cadence (live backend migration).
+            ``None`` (the default, and every Table 1 preset) builds no
+            controller, keeping the paper presets byte-identical.
         description: Table 1 provenance notes.
     """
 
@@ -119,6 +127,7 @@ class EnvironmentProfile:
     executor: str | None = None
     executor_transport: str | None = None
     scan_kernel: str | None = None
+    migration_policy: MigrationPolicy | None = None
     description: str = ""
 
     def datapath_config(self) -> DatapathConfig:
@@ -233,11 +242,19 @@ class Server:
         else:
             self.datapath = Datapath(self.flow_table, datapath_config)
         guard = MFCGuard(self.datapath, guard_config) if with_guard else None
+        migrator = (
+            MigrationController(
+                self.datapath, environment.migration_policy, guard=guard
+            )
+            if environment.migration_policy is not None
+            else None
+        )
         self.host = HypervisorHost(
             datapath=self.datapath,
             cost_model=environment.cost_model,
             quirks=environment.quirks,
             guard=guard,
+            migrator=migrator,
         )
         self.vms: list[VirtualMachine] = []
         self._priority = itertools.count(1000, -1)

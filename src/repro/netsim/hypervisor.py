@@ -48,6 +48,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.classifier.tss import MegaflowEntry
+from repro.core.migration import MigrationController
 from repro.core.mitigation import MFCGuard
 from repro.exceptions import SimulationError
 from repro.netsim import settlement
@@ -111,6 +112,11 @@ class HypervisorHost:
         cost_model: calibrated cost/throughput model for this environment.
         quirks: environment-specific behaviours.
         guard: optional MFCGuard instance (mitigation experiments).
+        migrator: optional
+            :class:`~repro.core.migration.MigrationController` — ticked in
+            the maintenance cadence right after the guard, so live backend
+            migration rides the same per-tick serialisation point as every
+            other management sweep.
         revalidator_period: seconds between idle-eviction sweeps.
         settlement_mode: ``"vector"`` (default — the numpy one-pass
             kernel) or ``"scalar"`` (the original per-victim loop, the
@@ -125,6 +131,7 @@ class HypervisorHost:
         cost_model: CostModel,
         quirks: QuirkConfig | None = None,
         guard: MFCGuard | None = None,
+        migrator: "MigrationController | None" = None,
         revalidator_period: float = 1.0,
         settlement_mode: str = "vector",
     ):
@@ -132,6 +139,7 @@ class HypervisorHost:
         self.cost_model = cost_model
         self.quirks = quirks or QuirkConfig()
         self.guard = guard
+        self.migrator = migrator
         self.settlement_mode = settlement.check_settlement_mode(settlement_mode)
         self.revalidator = Revalidator(datapath, period=revalidator_period)
         self.victims: dict[str, VictimState] = {}
@@ -255,6 +263,8 @@ class HypervisorHost:
             # Traffic demoted to the slow path by the guard is observable
             # as this tick's suppressed-installs; feed the measured rate.
             self.guard.note_attack_rate(self._slow_path_packets / dt)
+        if self.migrator is not None:
+            self.migrator.tick(now)
 
         # One consolidated per-core snapshot (a single executor round trip
         # when the shards live in worker processes) prices the whole tick:

@@ -31,8 +31,10 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.classifier.actions import Action
 from repro.classifier.backend import (
+    BackendRebuild,
     MegaflowBackend,
     MegaflowEntry,
+    backend_name_of,
     make_megaflow_backend,
 )
 from repro.classifier.flowtable import FlowTable
@@ -274,6 +276,12 @@ class Datapath:
         self._dead_entries: set[tuple[FlowMask, tuple[int, ...]]] = set()
         self.stats = DatapathStats()
         self.now = 0.0
+        # Live backend migration (see migrate_backend_*): at most one
+        # rebuild in flight per datapath/shard.
+        self._rebuild: BackendRebuild | None = None
+        self._migration_swaps = 0
+        self._last_swap_at: float | None = None
+        self._last_rebuild_memory = 0
         flow_table.subscribe(self.flush_caches)
 
     # -- sharding surface --------------------------------------------------------
@@ -521,6 +529,95 @@ class Datapath:
             if self.mask_cache is not None:
                 self.mask_cache.invalidate_masks(entry.mask for entry in evicted)
         return evicted
+
+    # -- live backend migration ---------------------------------------------------
+    # The rebuild runs *on this object* wherever it lives: under the
+    # ``process`` executor these methods are invoked inside the owning
+    # worker (via the control pipe's shard-call protocol), so entry objects
+    # never cross a process boundary — the status dicts below are the only
+    # thing shipped back, and they are plain picklable scalars.
+    def migration_status(self) -> dict:
+        """The shard's backend + migration state as one picklable record."""
+        rebuild = self._rebuild
+        if rebuild is not None:
+            status = "rebuilding"
+            rebuild_memory = rebuild.target.memory_bytes()
+        else:
+            status = "swapped" if self._migration_swaps else "idle"
+            rebuild_memory = self._last_rebuild_memory
+        return {
+            "status": status,
+            "backend": backend_name_of(self.megaflows) or type(self.megaflows).__name__,
+            "target": rebuild.target_kind if rebuild is not None else None,
+            "progress": rebuild.progress if rebuild is not None else 1.0,
+            "rebuild_done": rebuild.done if rebuild is not None else False,
+            "entries_copied": rebuild.entries_copied if rebuild is not None else 0,
+            "journal_replayed": rebuild.journal_replayed if rebuild is not None else 0,
+            "rebuild_memory_bytes": rebuild_memory,
+            "n_masks": self.n_masks,
+            "n_entries": self.n_megaflows,
+            "scan_cost": self.scan_cost,
+            "swaps": self._migration_swaps,
+            "last_swap_at": self._last_swap_at,
+        }
+
+    def migrate_backend_start(self, target_kind: str, slice_size: int = 512) -> dict:
+        """Begin rebuilding the megaflow cache as ``target_kind``.
+
+        The hot path keeps serving from the current backend; call
+        :meth:`migrate_backend_step` to advance and
+        :meth:`migrate_backend_swap` once the rebuild reports done.
+        """
+        if self._rebuild is not None:
+            raise SwitchError(
+                f"backend migration already in progress "
+                f"(target {self._rebuild.target_kind!r})"
+            )
+        self._rebuild = BackendRebuild(
+            self.megaflows,
+            target_kind,
+            slice_size=slice_size,
+            scan_kernel=self.config.scan_kernel,
+        )
+        return self.migration_status()
+
+    def migrate_backend_step(self, max_entries: int | None = None) -> dict:
+        """Advance the in-flight rebuild by a bounded slice."""
+        if self._rebuild is None:
+            raise SwitchError("no backend migration in progress")
+        self._rebuild.step(max_entries)
+        return self.migration_status()
+
+    def migrate_backend_swap(self) -> dict:
+        """Atomically swap the rebuilt backend in.
+
+        Safe without any cache flush: the target holds the *same entry
+        objects* as the old backend, so microflow-cache identity checks
+        (:meth:`_microflow_level` validates via ``find_entry``) and the
+        kernel mask cache stay valid across the swap.
+        """
+        if self._rebuild is None:
+            raise SwitchError("no backend migration in progress")
+        rebuild = self._rebuild
+        target = rebuild.finish()
+        self._last_rebuild_memory = target.memory_bytes()
+        self.megaflows = target
+        self._rebuild = None
+        self._migration_swaps += 1
+        self._last_swap_at = self.now
+        return self.migration_status()
+
+    def migrate_backend_abort(self) -> dict:
+        """Abandon the in-flight rebuild (the old backend stays in place)."""
+        if self._rebuild is not None:
+            self._rebuild.detach()
+            self._rebuild = None
+        return self.migration_status()
+
+    def migrate_backend(self, target_kind: str, slice_size: int = 512) -> dict:
+        """One-shot migration: rebuild to completion and swap immediately."""
+        self.migrate_backend_start(target_kind, slice_size=slice_size)
+        return self.migrate_backend_swap()
 
     def reset_stats(self) -> None:
         """Zero the aggregate counters (cache contents are kept)."""

@@ -10,7 +10,10 @@ eyeball a tuple space explosion the way the paper's authors did:
   per datapath/PMD rendering the backend's probe currency (scans
   performed, native probes spent, current expected scan cost and the
   backend's declared unit cost) — how an operator sees that an exploded
-  mask list is, or is not, actually expensive to scan;
+  mask list is, or is not, actually expensive to scan — and per-shard
+  ``backend:`` / ``migration:`` lines (backend kind, mask count, expected
+  scan cost; idle/rebuilding/swapped with progress and last-swap
+  timestamp) for watching a live backend migration as it happens;
 * :func:`dump_flows` — one line per megaflow in OVS's ``field(value/mask)``
   syntax with hit statistics and actions;
 * :func:`mask_histogram` — mask population by wildcarded-bit count, handy
@@ -103,8 +106,9 @@ def dump_flows(datapath: AnyDatapath, max_flows: int | None = None) -> str:
     return "\n".join(lines)
 
 
-def _shard_summary(shard) -> tuple[str, str, str]:
-    """The ``lookups``, ``masks`` and ``probes`` lines of one (shard) datapath."""
+def _shard_summary(shard) -> tuple[str, str, str, str, str]:
+    """The ``lookups``/``masks``/``probes``/``backend``/``migration`` lines
+    of one (shard) datapath."""
     stats = shard.stats
     cache = shard.megaflows
     lookups = cache.stats_hits + cache.stats_misses
@@ -115,7 +119,37 @@ def _shard_summary(shard) -> tuple[str, str, str]:
         f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
         f"probes: scans:{snapshot.scans} spent:{snapshot.probes_total} "
         f"scan cost:{snapshot.scan_cost:.1f} unit:{snapshot.unit_cost:.2f}",
+        *_migration_lines(shard.migration_status()),
     )
+
+
+def _migration_lines(status: dict) -> tuple[str, str]:
+    """The ``backend:`` and ``migration:`` lines from one status record.
+
+    What an operator watches during a live migration: which backend kind
+    currently serves the shard (and what one full scan of it costs), then
+    the migration state — ``rebuilding`` with progress and target while a
+    rebuild is in flight, ``swapped`` with the swap count and timestamp
+    after, ``idle`` otherwise.
+    """
+    backend_line = (
+        f"backend: {status['backend']} masks:{status['n_masks']} "
+        f"scan cost:{status['scan_cost']:.1f}"
+    )
+    if status["status"] == "rebuilding":
+        migration_line = (
+            f"migration: rebuilding -> {status['target']} "
+            f"{status['progress']:.0%} ({status['entries_copied']} copied, "
+            f"{status['journal_replayed']} replayed)"
+        )
+    elif status["status"] == "swapped":
+        migration_line = (
+            f"migration: swapped x{status['swaps']} "
+            f"(last at {status['last_swap_at']:.3f}s)"
+        )
+    else:
+        migration_line = "migration: idle"
+    return backend_line, migration_line
 
 
 def _kernel_names(datapath: AnyDatapath) -> str:
@@ -158,21 +192,28 @@ def show(datapath: AnyDatapath) -> str:
             f"  cache usage: {memory / 1e6:.2f} MB",
         ]
         for shard_id, shard in enumerate(datapath.shards):
-            lookups_line, masks_line, probes_line = _shard_summary(shard)
+            lookups_line, masks_line, probes_line, backend_line, migration_line = (
+                _shard_summary(shard)
+            )
             lines.append(
                 f"  pmd queue {shard_id}: flows: {shard.n_megaflows}; "
-                f"{lookups_line}; {masks_line}; {probes_line}"
+                f"{lookups_line}; {masks_line}; {probes_line}; "
+                f"{backend_line}; {migration_line}"
             )
         return "\n".join(lines)
 
     shard = datapath.shards[0]
-    lookups_line, masks_line, probes_line = _shard_summary(shard)
+    lookups_line, masks_line, probes_line, backend_line, migration_line = (
+        _shard_summary(shard)
+    )
     lines = [
         "datapath@repro:",
         f"  {lookups_line}",
         f"  flows: {shard.n_megaflows}",
         f"  {masks_line}",
         f"  {probes_line}",
+        f"  {backend_line}",
+        f"  {migration_line}",
         f"  cache usage: {shard.megaflows.memory_bytes() / 1e6:.2f} MB",
     ]
     if shard.microflows is not None:

@@ -313,6 +313,14 @@ _SHARD_CALL = frozenset(
         "evict_idle",
         "reset_stats",
         "core_report",
+        # Live backend migration: the rebuild and swap run *inside* the
+        # owning worker; only the plain-dict status record crosses back.
+        "migration_status",
+        "migrate_backend",
+        "migrate_backend_start",
+        "migrate_backend_step",
+        "migrate_backend_swap",
+        "migrate_backend_abort",
     }
 )
 _SHARD_ENTRY_CALLS = frozenset({"kill_entry", "reinject"})
@@ -685,6 +693,25 @@ class ShardProxy:
 
     def reset_stats(self) -> None:
         return self._call("reset_stats")
+
+    # -- live backend migration (runs in the owning worker) ----------------------
+    def migration_status(self) -> dict:
+        return self._call("migration_status")
+
+    def migrate_backend(self, target_kind: str, slice_size: int = 512) -> dict:
+        return self._call("migrate_backend", target_kind, slice_size=slice_size)
+
+    def migrate_backend_start(self, target_kind: str, slice_size: int = 512) -> dict:
+        return self._call("migrate_backend_start", target_kind, slice_size=slice_size)
+
+    def migrate_backend_step(self, max_entries: int | None = None) -> dict:
+        return self._call("migrate_backend_step", max_entries)
+
+    def migrate_backend_swap(self) -> dict:
+        return self._call("migrate_backend_swap")
+
+    def migrate_backend_abort(self) -> dict:
+        return self._call("migrate_backend_abort")
 
     def __repr__(self) -> str:
         return f"ShardProxy(shard {self._shard_id} @ {self._executor.describe()})"

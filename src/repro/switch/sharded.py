@@ -332,6 +332,36 @@ class ShardedDatapath:
             with self.executor.lock(shard_id):
                 shard.reset_stats()
 
+    # -- live backend migration ---------------------------------------------------
+    def migration_status(self) -> list[dict]:
+        """Per-shard backend + migration state records, by shard id."""
+        status: list[dict] = []
+        for shard_id, shard in enumerate(self._shards):
+            with self.executor.lock(shard_id):
+                status.append(shard.migration_status())
+        return status
+
+    def migrate_backend(
+        self, target_kind: str, shard_id: int | None = None, slice_size: int = 512
+    ) -> list[dict]:
+        """Rebuild and swap shard caches to ``target_kind``, one shot.
+
+        Runs under :meth:`maintenance`, so the swap serialises against
+        in-flight batches under every executor strategy; under the
+        ``process`` executor each shard's rebuild runs inside its owning
+        worker (the proxy ships only the status dict back).  ``shard_id``
+        limits the migration to one shard (a targeted rescue of the
+        detonated core); default is every shard.
+        """
+        with self.maintenance():
+            results: list[dict] = []
+            for sid, shard in enumerate(self._shards):
+                if shard_id is not None and sid != shard_id:
+                    results.append(shard.migration_status())
+                    continue
+                results.append(shard.migrate_backend(target_kind, slice_size=slice_size))
+            return results
+
     def __repr__(self) -> str:
         per_shard = ", ".join(str(shard.n_masks) for shard in self._shards)
         return (

@@ -29,11 +29,12 @@ from repro.exceptions import ExperimentError
 
 
 class TestRegistry:
-    def test_all_nineteen_experiments(self):
-        assert len(EXPERIMENTS) == 19
+    def test_all_twenty_experiments(self):
+        assert len(EXPERIMENTS) == 20
         assert "pmdsweep" in EXPERIMENTS
         assert "backendsweep" in EXPERIMENTS
         assert "cloudsweep" in EXPERIMENTS
+        assert "migrationsweep" in EXPERIMENTS
 
     def test_run_by_id(self):
         result = run_experiment("table1")

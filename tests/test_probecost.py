@@ -28,10 +28,11 @@ from repro.classifier.backend import make_megaflow_backend, megaflow_backend_nam
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import FlowRule, Match
 from repro.core.detector import tse_mask_fraction, tse_scan_cost_dilution
+from repro.core.migration import MigrationPolicy
 from repro.core.mitigation import MFCGuard, MFCGuardConfig
 from repro.core.tracegen import ColocatedTraceGenerator
 from repro.core.usecases import SIPDP
-from repro.netsim.cloud import SYNTHETIC_ENV
+from repro.netsim.cloud import ENVIRONMENTS, SYNTHETIC_ENV, Server
 from repro.netsim.hypervisor import HypervisorHost
 from repro.packet.fields import FIELDS, FlowKey
 from repro.packet.headers import PROTO_TCP
@@ -303,3 +304,37 @@ def test_mfcguard_without_probe_threshold_keeps_paper_behaviour():
     report = guard.run(now=1.0)
     assert report.entries_deleted > 0
     assert not report.stood_down_by_probe_cost
+
+
+# -- migration stays out of the paper presets --------------------------------------
+
+def test_presets_carry_no_migration_policy():
+    """``EnvironmentProfile.migration_policy`` defaults to ``None`` in
+    every paper preset: the Table 1 / Fig 8-9 environments build no
+    migrator and their datapath knobs are untouched by the new field."""
+    for name, environment in ENVIRONMENTS.items():
+        assert environment.migration_policy is None, name
+    server = Server("preset-probe", SYNTHETIC_ENV)
+    try:
+        assert server.host.migrator is None
+    finally:
+        server.close()
+
+
+def test_inert_migration_policy_is_float_identical():
+    """A migrator whose threshold never trips is charge-invisible: the
+    victim time series matches the no-migrator run float for float."""
+    from repro.experiments.migrationsweep import run_policy_cell
+
+    window = dict(
+        duration=10.0, attack_start=2.0, attack_stop=8.0, attack_pps=600.0
+    )
+    bare = run_policy_cell("none", **window)
+    inert = run_policy_cell(
+        "migration",
+        migration_policy=MigrationPolicy(cost_threshold=1e12),
+        **window,
+    )
+    assert inert["series"] == bare["series"]
+    assert inert["swaps"] == 0
+    assert inert["final_backend"] == "tss"

@@ -58,6 +58,12 @@ DEFAULT_RULES: tuple[tuple[str, str, float], ...] = (
     # Ratio guards around timing (insert scaling should stay near-linear:
     # lower is better; floor ratios measure a defense win: higher better).
     (r"^insert_ratio", "lower", 0.75),
+    # Migration guards: recovery must not get slower, and the recovered
+    # floor must keep its margin over the undefended one.  Ordered before
+    # the generic floor_ratio rule — re.search would match ``floor_ratio``
+    # inside ``recovered_floor_ratio``.
+    (r"time_to_recover", "lower", 0.50),
+    (r"recovered_floor_ratio", "higher", 0.35),
     (r"floor_ratio", "higher", 0.35),
     # Transport guard: the shm data plane must keep beating the pickled
     # pipe; a drop here means the zero-copy path regressed.
@@ -223,7 +229,9 @@ def self_test() -> int:
 
     Uses the committed trajectory as its own baseline (which must pass),
     then injects a synthetic 10x pps collapse, a mask-count drift and a
-    dropped metric (which must each fail).
+    dropped metric (which must each fail), plus a 3x recovery-time
+    slowdown into the migration trajectory (the ``time_to_recover`` rule
+    must reject it).
     """
     files = trajectory_files()
     if not files:
@@ -264,9 +272,33 @@ def self_test() -> int:
     if missed:
         print(f"self-test: synthetic regressions NOT caught: {sorted(missed)}")
         return 1
+
+    # The migration guard must bite on a slower recovery specifically: a
+    # 3x time_to_recover_s slowdown (well past the 50% tolerance) has to
+    # be rejected even though every other metric is untouched.
+    migration_path = RESULTS_DIR / "BENCH_migration.json"
+    if not migration_path.exists():
+        print("self-test: BENCH_migration.json missing from trajectory",
+              file=sys.stderr)
+        return 2
+    payload = json.loads(migration_path.read_text())
+    slowed = dict(payload)
+    slowed_metrics = sorted(m for m in payload if "time_to_recover" in m)
+    for metric in slowed_metrics:
+        slowed[metric] = payload[metric] * 3.0
+    slow_findings = compare_payloads("migration", payload, slowed)
+    slow_caught = {f.metric for f in slow_findings if f.failed}
+    slow_missed = set(slowed_metrics) - slow_caught
+    if not slowed_metrics or slow_missed:
+        print(
+            "self-test: synthetic recovery-time regression NOT caught: "
+            f"{sorted(slow_missed) or 'no time_to_recover metric published'}"
+        )
+        return 1
+    expected.update(slowed_metrics)
     print(
         f"self-test OK: clean trajectory passes; {len(expected)} synthetic "
-        f"regression(s) in BENCH_{bench} all rejected "
+        f"regression(s) (BENCH_{bench} + BENCH_migration) all rejected "
         f"({', '.join(sorted(expected))})"
     )
     return 0

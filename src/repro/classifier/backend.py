@@ -51,8 +51,9 @@ and the dilution detector.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Iterator, Protocol, runtime_checkable
+from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
 
 from repro.classifier.actions import Action
 from repro.exceptions import CacheInvariantError, ClassifierError
@@ -262,6 +263,12 @@ class MegaflowBackend(Protocol):
     # -- mutation -------------------------------------------------------------
     def insert(self, entry: MegaflowEntry, now: float = 0.0) -> MegaflowEntry: ...
 
+    def insert_batch(
+        self, entries: Iterable[MegaflowEntry], now: float = 0.0
+    ) -> list[MegaflowEntry]: ...
+
+    def index_burst(self): ...
+
     def remove(self, entry: MegaflowEntry) -> bool: ...
 
     def remove_where(
@@ -333,6 +340,9 @@ class MegaflowStore:
         self._tables: dict[FlowMask, dict[tuple[int, ...], MegaflowEntry]] = {}
         self._mask_fields: dict[FlowMask, tuple[tuple[int, int], ...]] = {}
         self._mask_order: list[FlowMask] = []
+        # Entry count, maintained by insert/remove/flush: the flow-limit
+        # check runs once per upcall, so |C| must not be O(|C|) to read.
+        self._n_entries = 0
         # Lookup memo: replayed traffic (the common case during an attack)
         # re-resolves in O(1) between cache mutations.
         self._memo: dict[tuple[int, ...], TssLookupResult] = {}
@@ -361,7 +371,7 @@ class MegaflowStore:
     @property
     def n_entries(self) -> int:
         """Number of megaflow entries (the |C| of Observation 1)."""
-        return sum(len(table) for table in self._tables.values())
+        return self._n_entries
 
     def memory_bytes(self) -> int:
         """Estimated memory footprint (entries + mask structures)."""
@@ -566,6 +576,7 @@ class MegaflowStore:
         entry.created_at = now
         entry.last_used = now
         table[reduced] = entry
+        self._n_entries += 1
         # Keep the backend index in sync incrementally (the hot path while
         # an attack detonates); memoised results must still be dropped
         # because previous misses may now hit.
@@ -574,6 +585,31 @@ class MegaflowStore:
         for rebuild in self._rebuild_journals:
             rebuild.note_insert(entry)
         return entry
+
+    def insert_batch(
+        self, entries: Iterable[MegaflowEntry], now: float = 0.0
+    ) -> list[MegaflowEntry]:
+        """Install ``entries`` in order under one :meth:`index_burst`.
+
+        Semantically ``[self.insert(e, now) for e in entries]`` — every
+        entry mutates the authoritative dicts, is invariant-checked and
+        journalled individually, in order — but backends with an
+        incremental index (TSS) amortise their index appends to one
+        vectorised pass per call instead of one per entry.
+        """
+        with self.index_burst():
+            return [self.insert(entry, now) for entry in entries]
+
+    def index_burst(self):
+        """Context manager batching index appends (no-op by default).
+
+        The datapath opens one burst per ``process_batch``; backends whose
+        per-insert index work is worth amortising (TSS) override this to
+        defer appends until the next index read or burst exit.  Truth-side
+        mutations are never deferred — only the pure accelerating index —
+        so behaviour inside the burst is observably unchanged.
+        """
+        return nullcontext()
 
     def _mask_added(self, mask: FlowMask) -> None:
         """Bookkeeping hook: a new mask entered the mask list."""
@@ -597,6 +633,7 @@ class MegaflowStore:
         if table.get(reduced) is not entry:
             return False
         del table[reduced]
+        self._n_entries -= 1
         if not table:
             del self._tables[entry.mask]
             del self._mask_fields[entry.mask]
@@ -648,6 +685,7 @@ class MegaflowStore:
         self._tables.clear()
         self._mask_fields.clear()
         self._mask_order.clear()
+        self._n_entries = 0
         self._flushed()
         self._invalidate()
         for rebuild in self._rebuild_journals:
@@ -751,6 +789,15 @@ class LiveBatchScanner:
         if now is not None:
             self.now = now
         return self.backend.lookup(self.keys[i], now=self.now)
+
+    def plan_misses(self, start: int) -> list[int]:
+        """Keys known to miss from position ``start`` on: just ``start``.
+
+        Without a precomputed plan nothing is known about later keys, so
+        the upcall coalescer gets the (correct, unamortised) singleton —
+        the caller only invokes this after ``result(start)`` missed.
+        """
+        return [start]
 
 
 # -- backend registry ------------------------------------------------------------
@@ -953,17 +1000,20 @@ class BackendRebuild:
         """
         budget = self.slice_size if max_entries is None else max_entries
         visited = 0
-        while visited < budget and self._cursor < len(self._snapshot):
-            entry = self._snapshot[self._cursor]
-            self._cursor += 1
-            visited += 1
-            # Entries that left the truth store since the snapshot (removed,
-            # evicted, flushed) are skipped; the journal already reflects
-            # whatever replaced them.
-            if self.source.find_entry(entry):
-                self._adopt(entry)
-                self.entries_copied += 1
-        self._drain_journal()
+        # One index burst per slice: the target's accelerator appends
+        # amortise across the copied entries (insert_batch's discipline).
+        with self.target.index_burst():
+            while visited < budget and self._cursor < len(self._snapshot):
+                entry = self._snapshot[self._cursor]
+                self._cursor += 1
+                visited += 1
+                # Entries that left the truth store since the snapshot
+                # (removed, evicted, flushed) are skipped; the journal
+                # already reflects whatever replaced them.
+                if self.source.find_entry(entry):
+                    self._adopt(entry)
+                    self.entries_copied += 1
+            self._drain_journal()
         return visited
 
     def run_to_completion(self) -> None:

@@ -54,10 +54,21 @@ Accelerator invariants:
 * per-mask hash salts are append-only: growth of the salt buffer
   explicitly preserves already-issued salts, because a salt change would
   orphan every compound computed under it (entries installed but
-  unfindable by the accelerator).
+  unfindable by the accelerator);
+* under :meth:`MegaflowStore.index_burst` (the datapath wraps every
+  ``process_batch`` in one) accelerator appends are *deferred*: inserts
+  mutate the authoritative dicts immediately but queue their accelerator
+  work, which drains as one vectorised append (one column-matrix build,
+  one hash pass, at most one pending merge) before the next accelerator
+  read or at burst exit — one accelerator append/resort per burst instead
+  of per upcall.  Deferral is invisible to lookups because every
+  accelerator read path drains first and the batch scanner's
+  announced-insert check covers not-yet-indexed entries.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -164,16 +175,39 @@ class TupleSpaceSearch(MegaflowStore):
         self._acc_filter_shift = np.uint64(64 - _FILTER_MIN_LOG2)
         self._acc_entries: dict[int, list[tuple[int, MegaflowEntry]]] = {}
         self._mask_index: dict[FlowMask, int] = {}
+        # Burst-deferred accelerator appends (see module docstring): while
+        # a burst is open, (entry, new_mask) pairs queue here and drain
+        # vectorised before the next accelerator read.
+        self._burst_depth = 0
+        self._burst_buf: list[tuple[MegaflowEntry, bool]] = []
 
     # -- store hooks -------------------------------------------------------------
     def _index_invalidate(self) -> None:
         self._acc_dirty = True
+        # The lazy rebuild re-indexes everything from the dicts, deferred
+        # appends included.
+        self._burst_buf.clear()
 
     def _index_insert(self, entry: MegaflowEntry, new_mask: bool) -> None:
-        if not self._acc_dirty:
-            if new_mask:
-                self._acc_append_mask(entry.mask)
-            self._acc_append_entry(entry.mask, entry)
+        if self._acc_dirty:
+            return
+        if self._burst_depth:
+            self._burst_buf.append((entry, new_mask))
+            return
+        if new_mask:
+            self._acc_append_mask(entry.mask)
+        self._acc_append_entry(entry.mask, entry)
+
+    @contextmanager
+    def index_burst(self):
+        """Defer accelerator appends for the duration of one batch."""
+        self._burst_depth += 1
+        try:
+            yield self
+        finally:
+            self._burst_depth -= 1
+            if self._burst_depth == 0:
+                self._burst_drain()
 
     def _mask_added(self, mask: FlowMask) -> None:
         self._mask_hits[mask] = 0
@@ -211,6 +245,48 @@ class TupleSpaceSearch(MegaflowStore):
         self._acc_grow(index + 1)
         self._acc_mask_buffer[index] = _to_columns(mask.values)
         self._mask_index[mask] = index
+
+    def _burst_drain(self) -> None:
+        """Fold deferred inserts into the accelerator in one pass.
+
+        Equivalent to having run :meth:`_acc_append_mask` /
+        :meth:`_acc_append_entry` per entry at insert time — same mask
+        positions (truth-side ``_mask_order`` appends happened in the same
+        order), same compounds — but the per-entry column derive and hash
+        collapse into one matrix build, and the pending-merge threshold is
+        checked once per burst.
+        """
+        buf = self._burst_buf
+        if not buf:
+            return
+        self._burst_buf = []
+        if self._acc_dirty:
+            return  # the lazy rebuild covers these entries
+        for entry, new_mask in buf:
+            if new_mask:
+                # The k-th unindexed mask sits at order position
+                # len(_mask_index) + k: bursts defer every append, so
+                # indexed masks are exactly the order prefix.
+                index = len(self._mask_index)
+                self._acc_grow(index + 1)
+                self._acc_mask_buffer[index] = _to_columns(entry.mask.values)
+                self._mask_index[entry.mask] = index
+        rows = _to_column_matrix([entry.key for entry, _ in buf])
+        indices = np.fromiter(
+            (self._mask_index[entry.mask] for entry, _ in buf),
+            dtype=np.intp,
+            count=len(buf),
+        )
+        hashes = (rows * _WEIGHTS).sum(axis=1, dtype=np.uint64)
+        compounds = (hashes ^ self._acc_salt_buffer[indices]).tolist()
+        shift = int(self._acc_filter_shift)
+        for (entry, _), index, compound in zip(buf, indices.tolist(), compounds):
+            self._acc_pending.append(compound)
+            self._acc_pending_set.add(compound)
+            self._acc_filter[compound >> shift] = 1
+            self._acc_entries.setdefault(compound, []).append((index, entry))
+        if len(self._acc_pending) >= max(64, len(self._acc_compounds) >> 3):
+            self._acc_merge_pending()
 
     def _acc_append_entry(self, mask: FlowMask, entry: MegaflowEntry) -> None:
         index = self._mask_index[mask]
@@ -284,6 +360,7 @@ class TupleSpaceSearch(MegaflowStore):
         return hits
 
     def _rebuild_accelerator(self) -> None:
+        self._burst_buf.clear()  # superseded: everything re-indexed from truth
         n = len(self._mask_order)
         self._acc_grow(max(n, 1))
         self._acc_entries = {}
@@ -314,6 +391,8 @@ class TupleSpaceSearch(MegaflowStore):
             return TssLookupResult(entry=None, masks_inspected=0)
         if self._acc_dirty:
             self._rebuild_accelerator()
+        elif self._burst_buf:
+            self._burst_drain()
         if not len(self._acc_compounds) and not self._acc_pending:
             self._register_miss()
             return TssLookupResult(entry=None, masks_inspected=n)
@@ -436,10 +515,27 @@ class _BatchScanner:
         self._order_seq = -1
         self._plan = None  # the kernel-built ScanPlan for keys[start:end]
         self._inserted: list[MegaflowEntry] = []
+        # Column rows of the announced entries' masks/keys, so the
+        # miss-path coverage check is one vectorised pass instead of a
+        # per-entry ``covers`` walk (O(batch^2) under upcall-dominated
+        # bursts otherwise).
+        self._ins_cap = 0
+        self._ins_masks = np.empty((0, _N_COLUMNS), dtype=np.uint64)
+        self._ins_keys = np.empty((0, _N_COLUMNS), dtype=np.uint64)
 
     def note_inserted(self, entry: MegaflowEntry) -> None:
         """Tell the scanner the caller installed ``entry`` mid-batch."""
         self._inserted.append(entry)
+        n = len(self._inserted)
+        if n > self._ins_cap:
+            capacity = max(64, self._ins_cap * 2)
+            masks = np.empty((capacity, _N_COLUMNS), dtype=np.uint64)
+            keys_ = np.empty((capacity, _N_COLUMNS), dtype=np.uint64)
+            masks[: self._ins_cap] = self._ins_masks[: self._ins_cap]
+            keys_[: self._ins_cap] = self._ins_keys[: self._ins_cap]
+            self._ins_masks, self._ins_keys, self._ins_cap = masks, keys_, capacity
+        self._ins_masks[n - 1] = _to_columns(entry.mask.values)
+        self._ins_keys[n - 1] = _to_columns(entry.key)
 
     def result(self, i: int, now: float | None = None) -> TssLookupResult:
         """The lookup result for key ``i`` (call with non-decreasing ``i``)."""
@@ -487,8 +583,18 @@ class _BatchScanner:
         # Plan says miss: only entries installed after the plan snapshot
         # can change that (Inv(2): at most one installed entry covers any
         # key, so a snapshot hit cannot be preempted).
-        for entry in self._inserted:
-            if entry.covers(key):
+        n_inserted = len(self._inserted)
+        if n_inserted:
+            if self._rows is not None:
+                row = self._rows[i]
+            else:
+                row = _to_columns(key_values)
+            covered = (
+                (self._ins_masks[:n_inserted] & row) == self._ins_keys[:n_inserted]
+            ).all(axis=1)
+            hits = np.flatnonzero(covered)
+            if len(hits):
+                entry = self._inserted[int(hits[0])]
                 position = tss._mask_index.get(entry.mask)
                 if position is None:
                     position = tss._mask_order.index(entry.mask)
@@ -507,6 +613,11 @@ class _BatchScanner:
             rows = self._rows[start:end]
         else:
             rows = _to_column_matrix([k.values for k in self.keys[start:end]])
+        if tss._burst_buf:
+            # Deferred burst appends must reach the accelerator before the
+            # plan snapshots it (this clears ``_inserted`` below, so the
+            # announced-insert fallback no longer covers them).
+            tss._burst_drain()
         if tss._acc_pending:
             # The kernels refine filter candidates against the sorted
             # compound set; fold the unsorted insert backlog in first so
@@ -524,6 +635,29 @@ class _BatchScanner:
         self._end = end
         self._order_seq = tss._order_seq
         self._inserted.clear()
+
+    def plan_misses(self, start: int) -> list[int]:
+        """Key indices ``>= start`` guaranteed to miss the plan snapshot.
+
+        The filter has no false negatives, so a key with no plan candidate
+        cannot hit any entry installed before the batch — the upcall
+        coalescer uses this as its burst of soon-to-miss keys.  Only
+        entries installed *mid-batch* can still serve some of them (which
+        is fine: megaflow generation is pure, so speculatively generating
+        for a key that ends up hitting changes nothing).  When no plan
+        covers ``start`` (empty tuple space: the scan early-exits before
+        planning), every remaining key is a guaranteed miss.
+        """
+        plan = self._plan
+        if (
+            plan is None
+            or self.tss._order_seq != self._order_seq
+            or not (self._start <= start < self._end)
+        ):
+            return list(range(start, len(self.keys)))
+        has = plan.has
+        offset = self._start
+        return [j for j in range(start, self._end) if not has[j - offset]]
 
 
 register_megaflow_backend("tss", TupleSpaceSearch)

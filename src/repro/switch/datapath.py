@@ -39,7 +39,12 @@ from repro.classifier.backend import (
 )
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.microflow import MicroflowCache
-from repro.classifier.slowpath import OVS_DEFAULT, MegaflowGenerator, StrategyConfig
+from repro.classifier.slowpath import (
+    OVS_DEFAULT,
+    MegaflowGenerator,
+    SlowPathResult,
+    StrategyConfig,
+)
 from repro.exceptions import SwitchError
 from repro.packet.fields import FlowKey, FlowMask
 from repro.packet.packet import Packet
@@ -109,11 +114,23 @@ class BatchVerdicts:
             batch-entry snapshot).  Equals ``max(mask_counts[i], 1)`` for
             TSS; diverges for backends whose scan cost is sublinear in the
             mask count.
+        upcalls: number of packets that went to the slow path — counted
+            during batch construction (O(1) to read), not re-summed over
+            the verdicts on every access.  Constructors that don't know
+            the count (or reconstruct from the wire) may omit it; it is
+            then derived once in ``__post_init__``.
     """
 
     verdicts: tuple[PacketVerdict, ...]
     mask_counts: tuple[int, ...]
     probe_costs: tuple[float, ...] = ()
+    upcalls: int = -1
+
+    def __post_init__(self) -> None:
+        if self.upcalls < 0:
+            object.__setattr__(
+                self, "upcalls", sum(1 for v in self.verdicts if v.is_upcall)
+            )
 
     def __len__(self) -> int:
         return len(self.verdicts)
@@ -123,11 +140,6 @@ class BatchVerdicts:
 
     def __getitem__(self, index: int) -> PacketVerdict:
         return self.verdicts[index]
-
-    @property
-    def upcalls(self) -> int:
-        """Number of packets that went to the slow path."""
-        return sum(1 for v in self.verdicts if v.is_upcall)
 
 
 @dataclass(frozen=True)
@@ -192,6 +204,15 @@ class DatapathConfig:
             computes batch scan plans for backends that have one —
             ``"auto"`` (compiled cffi kernel when available, numpy
             otherwise), ``"numpy"``, or ``"cffi"``.
+        batch_upcalls: run :meth:`Datapath.process_batch` slow-path misses
+            through the batched upcall engine — coalesced megaflow
+            generation (:meth:`MegaflowGenerator.generate_batch` over the
+            burst's guaranteed misses, one generation per distinct
+            decision path) and burst-amortised backend index appends
+            (:meth:`MegaflowStore.index_burst`).  Verdict-for-verdict and
+            install-for-install identical to the scalar slow path
+            (``False``, the per-packet reference the differential tests
+            and ``bench_upcall`` compare against).
     """
 
     microflow_capacity: int = 256
@@ -207,6 +228,7 @@ class DatapathConfig:
     executor_transport: str = "shm"
     executor_pinning: tuple[int, ...] = ()
     scan_kernel: str = "auto"
+    batch_upcalls: bool = True
 
 
 @dataclass
@@ -416,10 +438,23 @@ class Datapath:
         but the level-3 tuple-space scan runs through the vectorised
         batch scanner, which amortises the (keys x masks) mask/hash work
         across the batch the way OVS/DPDK amortise per-packet overhead
-        over ~32-packet rx bursts.  Levels 1/2 and slow-path upcalls stay
-        per-key because each packet's probe can depend on the caches the
-        previous packet just touched (a batch of duplicates must hit the
-        microflow its first packet installed).
+        over ~32-packet rx bursts.  Levels 1/2 and upcall *settlement*
+        (install, stats, flow limit) stay per-key because each packet's
+        probe can depend on the caches the previous packet just touched
+        (a batch of duplicates must hit the microflow its first packet
+        installed).
+
+        With ``config.batch_upcalls`` (the default) megaflow *generation*
+        is additionally batched: on the first slow-path miss the scanner's
+        guaranteed-miss set for the rest of the burst is generated in one
+        :meth:`MegaflowGenerator.generate_batch` call, packets spawning
+        the same megaflow share one generation (OVS handler dedup), and
+        the backend's accelerator appends amortise to one pass per burst
+        (:meth:`MegaflowStore.index_burst`).  Generation is pure — it
+        reads only the flow table — so pre-generating for a key that ends
+        up hitting a mid-batch install observably changes nothing, and the
+        batched path stays verdict-for-verdict identical to the scalar
+        one.
 
         ``rows`` optionally supplies ``keys``' uint64 column matrix when
         the caller already has it (the shared-memory transport's wire
@@ -432,21 +467,53 @@ class Datapath:
         verdicts: list[PacketVerdict] = []
         mask_counts: list[int] = []
         probe_costs: list[float] = []
+        upcalls = 0
+        batched = self.config.batch_upcalls
+        gen_memo: dict[tuple[int, ...], "SlowPathResult"] = {}
         scanner = self.megaflows.batch_scanner(keys, now=self.now, rows=rows)
-        for i, key in enumerate(keys):
-            self.stats.packets += 1
-            mask_counts.append(self.megaflows.n_masks)
-            probe_costs.append(self.megaflows.expected_scan_cost())
-            verdict = self._fast_levels(key)
-            if verdict is None:
-                verdict = self._scan_levels(key, scanner.result(i))
-                if verdict.installed is not None:
-                    scanner.note_inserted(verdict.installed)
-            verdicts.append(verdict)
+        burst = self.megaflows.index_burst() if batched else nullcontext()
+        with burst:
+            for i, key in enumerate(keys):
+                self.stats.packets += 1
+                mask_counts.append(self.megaflows.n_masks)
+                probe_costs.append(self.megaflows.expected_scan_cost())
+                verdict = self._fast_levels(key)
+                if verdict is None:
+                    result = scanner.result(i)
+                    if batched and result.entry is None:
+                        self.stats.masks_inspected_total += result.masks_inspected
+                        slow = gen_memo.get(key.values)
+                        if slow is None:
+                            # Coalesce: generate for every key the scanner
+                            # already knows will miss, so later upcalls in
+                            # the burst (and duplicate decision paths) are
+                            # memo hits.
+                            cohort = [key]
+                            seen = {key.values}
+                            for j in scanner.plan_misses(i):
+                                values = keys[j].values
+                                if values not in seen:
+                                    seen.add(values)
+                                    cohort.append(keys[j])
+                            for miss_key, miss_result in zip(
+                                cohort, self.generator.generate_batch(cohort)
+                            ):
+                                gen_memo[miss_key.values] = miss_result
+                            slow = gen_memo[key.values]
+                        verdict = self._install_upcall(key, slow, result.masks_inspected)
+                        upcalls += 1
+                    else:
+                        verdict = self._scan_levels(key, result)
+                        if verdict.is_upcall:
+                            upcalls += 1
+                    if verdict.installed is not None:
+                        scanner.note_inserted(verdict.installed)
+                verdicts.append(verdict)
         return BatchVerdicts(
             verdicts=tuple(verdicts),
             mask_counts=tuple(mask_counts),
             probe_costs=tuple(probe_costs),
+            upcalls=upcalls,
         )
 
     def process_packet(self, packet: Packet, in_port: int = 0, now: float | None = None) -> PacketVerdict:
@@ -462,8 +529,20 @@ class Datapath:
         )
 
     def _upcall(self, key: FlowKey, scanned: int) -> PacketVerdict:
+        """Scalar slow path: generate for one key, then settle."""
+        return self._install_upcall(key, self.generator.generate(key), scanned)
+
+    def _install_upcall(
+        self, key: FlowKey, result: "SlowPathResult", scanned: int
+    ) -> PacketVerdict:
+        """Settle one upcall: stats, dead-entry/flow-limit gates, install.
+
+        Generation and settlement are split so the batched engine can
+        share one generated result across coalesced upcalls while keeping
+        the per-packet settlement order (and therefore all accounting)
+        identical to the scalar path.
+        """
         self.stats.upcalls += 1
-        result = self.generator.generate(key)
         entry = result.entry
         installed: MegaflowEntry | None = None
         if (entry.mask, entry.key) in self._dead_entries:

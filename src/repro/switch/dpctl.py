@@ -10,7 +10,10 @@ eyeball a tuple space explosion the way the paper's authors did:
   per datapath/PMD rendering the backend's probe currency (scans
   performed, native probes spent, current expected scan cost and the
   backend's declared unit cost) — how an operator sees that an exploded
-  mask list is, or is not, actually expensive to scan — and per-shard
+  mask list is, or is not, actually expensive to scan — a ``slow path:``
+  line per datapath/PMD (upcalls, installs, flow-limit rejections,
+  dead-entry suppressions: the upcall pressure that is the attack's
+  actual DoS mechanism) — and per-shard
   ``backend:`` / ``migration:`` lines (backend kind, mask count, expected
   scan cost; idle/rebuilding/swapped with progress and last-swap
   timestamp) for watching a live backend migration as it happens;
@@ -106,9 +109,9 @@ def dump_flows(datapath: AnyDatapath, max_flows: int | None = None) -> str:
     return "\n".join(lines)
 
 
-def _shard_summary(shard) -> tuple[str, str, str, str, str]:
-    """The ``lookups``/``masks``/``probes``/``backend``/``migration`` lines
-    of one (shard) datapath."""
+def _shard_summary(shard) -> tuple[str, str, str, str, str, str]:
+    """The ``lookups``/``masks``/``probes``/``slow path``/``backend``/
+    ``migration`` lines of one (shard) datapath."""
     stats = shard.stats
     cache = shard.megaflows
     lookups = cache.stats_hits + cache.stats_misses
@@ -119,6 +122,10 @@ def _shard_summary(shard) -> tuple[str, str, str, str, str]:
         f"hit/pkt:{stats.masks_inspected_total / max(stats.packets, 1):.2f}",
         f"probes: scans:{snapshot.scans} spent:{snapshot.probes_total} "
         f"scan cost:{snapshot.scan_cost:.1f} unit:{snapshot.unit_cost:.2f}",
+        # Upcall pressure: the slow path is the paper's actual DoS
+        # mechanism, so operators watch it next to the probe currency.
+        f"slow path: upcalls:{stats.upcalls} installs:{stats.installs} "
+        f"rejected:{stats.install_rejected} dead:{stats.dead_entry_suppressed}",
         *_migration_lines(shard.migration_status()),
     )
 
@@ -192,18 +199,23 @@ def show(datapath: AnyDatapath) -> str:
             f"  cache usage: {memory / 1e6:.2f} MB",
         ]
         for shard_id, shard in enumerate(datapath.shards):
-            lookups_line, masks_line, probes_line, backend_line, migration_line = (
-                _shard_summary(shard)
-            )
+            (
+                lookups_line,
+                masks_line,
+                probes_line,
+                slow_line,
+                backend_line,
+                migration_line,
+            ) = _shard_summary(shard)
             lines.append(
                 f"  pmd queue {shard_id}: flows: {shard.n_megaflows}; "
-                f"{lookups_line}; {masks_line}; {probes_line}; "
+                f"{lookups_line}; {masks_line}; {probes_line}; {slow_line}; "
                 f"{backend_line}; {migration_line}"
             )
         return "\n".join(lines)
 
     shard = datapath.shards[0]
-    lookups_line, masks_line, probes_line, backend_line, migration_line = (
+    lookups_line, masks_line, probes_line, slow_line, backend_line, migration_line = (
         _shard_summary(shard)
     )
     lines = [
@@ -212,6 +224,7 @@ def show(datapath: AnyDatapath) -> str:
         f"  flows: {shard.n_megaflows}",
         f"  {masks_line}",
         f"  {probes_line}",
+        f"  {slow_line}",
         f"  {backend_line}",
         f"  {migration_line}",
         f"  cache usage: {shard.megaflows.memory_bytes() / 1e6:.2f} MB",

@@ -354,6 +354,7 @@ _BACKEND_CALL = frozenset(
         "probe_mask",
         "evict_idle",
         "remove",
+        "insert_batch",
         "verify_disjoint",
     }
 )

@@ -270,6 +270,7 @@ class ShardedDatapath:
             verdicts=tuple(verdicts),
             mask_counts=tuple(mask_counts),
             probe_costs=tuple(probe_costs),
+            upcalls=sum(batch.upcalls for batch in results.values()),
             shard_ids=assignment,
         )
 

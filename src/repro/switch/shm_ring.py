@@ -325,7 +325,9 @@ def encode_verdicts(ring: ShmRing, seq: int, results) -> bool:
         verdicts = batch.verdicts
         n = len(verdicts)
         has_costs = 1 if batch.probe_costs else 0
-        chunks.append(_as_bytes(np.array([shard_id, n, has_costs], dtype=np.uint64)))
+        chunks.append(
+            _as_bytes(np.array([shard_id, n, has_costs, batch.upcalls], dtype=np.uint64))
+        )
         table = np.empty((6, n), dtype=np.int64)
         table[0] = [_KIND_CODE[v.action.kind] for v in verdicts]
         table[1] = [
@@ -361,12 +363,15 @@ def decode_verdicts(payload: bytes, expected_seq: int):
         )
     n_shards = int(words[1])
     offset = 2
-    decoded: list[tuple[int, list[PacketVerdict], tuple[int, ...], tuple[float, ...]]] = []
+    decoded: list[
+        tuple[int, list[PacketVerdict], tuple[int, ...], tuple[float, ...], int]
+    ] = []
     for _ in range(n_shards):
         shard_id = int(words[offset])
         n = int(words[offset + 1])
         has_costs = int(words[offset + 2])
-        offset += 3
+        upcalls = int(words[offset + 3])
+        offset += 4
         table = words[offset:offset + 6 * n].view(np.int64).reshape(6, n)
         offset += 6 * n
         costs: tuple[float, ...] = ()
@@ -383,15 +388,15 @@ def decode_verdicts(payload: bytes, expected_seq: int):
             )
             for i in range(n)
         ]
-        decoded.append((shard_id, verdicts, tuple(table[5].tolist()), costs))
+        decoded.append((shard_id, verdicts, tuple(table[5].tolist()), costs, upcalls))
     blob_len = int(words[offset])
     if blob_len:
         blob = payload[8 * (offset + 1): 8 * (offset + 1) + blob_len]
-        by_shard = {shard_id: verdicts for shard_id, verdicts, _, _ in decoded}
+        by_shard = {shard_id: verdicts for shard_id, verdicts, _, _, _ in decoded}
         for shard_id, index, entry in pickle.loads(blob):
             verdicts = by_shard[shard_id]
             verdicts[index] = dc_replace(verdicts[index], installed=entry)
     return [
-        (shard_id, BatchVerdicts(tuple(verdicts), mask_counts, costs))
-        for shard_id, verdicts, mask_counts, costs in decoded
+        (shard_id, BatchVerdicts(tuple(verdicts), mask_counts, costs, upcalls))
+        for shard_id, verdicts, mask_counts, costs, upcalls in decoded
     ]

@@ -38,6 +38,29 @@ class TestShow:
         assert "lookups:" in text
         assert "missed:" in text
 
+    def test_slow_path_counters(self, attacked):
+        """The upcall-pressure line renders the slow-path stats verbatim."""
+        stats = attacked.stats
+        assert (
+            f"slow path: upcalls:{stats.upcalls} installs:{stats.installs} "
+            f"rejected:{stats.install_rejected} dead:{stats.dead_entry_suppressed}"
+        ) in show(attacked)
+        assert stats.upcalls > 0
+
+    def test_slow_path_counters_per_pmd(self):
+        """Sharded ``show`` carries the slow path line on every pmd line."""
+        from repro.switch.sharded import ShardedDatapath
+
+        table = SIPDP.build_table()
+        datapath = ShardedDatapath(
+            table, DatapathConfig(microflow_capacity=0), n_shards=2
+        )
+        trace = ColocatedTraceGenerator(table, base={"ip_proto": PROTO_TCP}).generate()
+        datapath.process_batch(list(trace.keys))
+        pmd_lines = [line for line in show(datapath).splitlines() if "pmd queue" in line]
+        assert len(pmd_lines) == 2
+        assert all("slow path: upcalls:" in line for line in pmd_lines)
+
     def test_microflow_line_optional(self):
         table = DP.build_table()
         with_emc = Datapath(table)

@@ -53,6 +53,10 @@ DEFAULT_RULES: tuple[tuple[str, str, float], ...] = (
     # actionable.
     (r"pps", "higher", 0.50),
     (r"tenants_per_sec", "higher", 0.50),
+    # The batched slow path must keep its margin over the scalar upcall
+    # path (bench_upcall's figure of merit; ordered before the generic
+    # speedup rule so its guard is named explicitly).
+    (r"upcall_speedup", "higher", 0.35),
     (r"speedup", "higher", 0.35),
     (r"seconds", "lower", 1.00),
     # Ratio guards around timing (insert scaling should stay near-linear:
@@ -296,10 +300,34 @@ def self_test() -> int:
         )
         return 1
     expected.update(slowed_metrics)
+
+    # The upcall guard must bite on a slower batched engine specifically:
+    # a 3x upcall_speedup collapse (well past the 35% tolerance) has to be
+    # rejected even though every other metric is untouched.
+    upcall_path = RESULTS_DIR / "BENCH_upcall.json"
+    if not upcall_path.exists():
+        print("self-test: BENCH_upcall.json missing from trajectory",
+              file=sys.stderr)
+        return 2
+    payload = json.loads(upcall_path.read_text())
+    collapsed = dict(payload)
+    collapsed_metrics = sorted(m for m in payload if "upcall_speedup" in m)
+    for metric in collapsed_metrics:
+        collapsed[metric] = payload[metric] / 3.0
+    upcall_findings = compare_payloads("upcall", payload, collapsed)
+    upcall_caught = {f.metric for f in upcall_findings if f.failed}
+    upcall_missed = set(collapsed_metrics) - upcall_caught
+    if not collapsed_metrics or upcall_missed:
+        print(
+            "self-test: synthetic upcall-speedup regression NOT caught: "
+            f"{sorted(upcall_missed) or 'no upcall_speedup metric published'}"
+        )
+        return 1
+    expected.update(collapsed_metrics)
     print(
         f"self-test OK: clean trajectory passes; {len(expected)} synthetic "
-        f"regression(s) (BENCH_{bench} + BENCH_migration) all rejected "
-        f"({', '.join(sorted(expected))})"
+        f"regression(s) (BENCH_{bench} + BENCH_migration + BENCH_upcall) "
+        f"all rejected ({', '.join(sorted(expected))})"
     )
     return 0
 

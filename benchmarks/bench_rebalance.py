@@ -1,0 +1,164 @@
+"""Rebalancing benchmark: live RSS re-maps under the detonated cache.
+
+Two guards, persisted to ``results/BENCH_rebalance.json``:
+
+* **Zero-drop re-map invariant** — on a 4-shard datapath carrying the
+  full SipSpDp detonation, a re-key re-map migrates every cached megaflow
+  to its new home shard: the aggregate ``(mask, masked key)`` union and
+  the distinct-mask union are identical before and after, re-mapping to
+  the same dispatcher again moves nothing (placement is a pure function
+  of masked key and dispatcher), and a salt round-trip back to 0
+  preserves the union.  Entries re-home by their *masked* key while
+  packets dispatch by their full 5-tuple, so a wildcard-heavy entry's
+  matching packets can land on a different queue than the migrated copy
+  under the new salt — those packets upcall once and warm a local copy
+  (the same per-queue duplication the sharded cache always does).  That
+  transient is published as ``post_remap_rewarm_upcalls``; the guard is
+  that a *second* replay takes zero upcalls — the misses are placement
+  transients, never losses.  Checked under the serial, thread and
+  process executors — under the process executor the moved-entry delta
+  is what crosses the worker pipes, so this also guards the executor
+  protocol.
+* **Floor recovery** — the ``rsssweep`` adversarial game (RSS-aware
+  attacker re-grinding its trace every round vs. the skew-triggered
+  re-keying defender): the defended victim's round-tail floor must be
+  >= 10x the static-RSS floor, the experiment's acceptance bar.  The
+  game is fully simulated (no wall-clock in the scored path), so the
+  ratio is deterministic.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_rebalance.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import SMOKE, publish, section62_trace, warmed_sharded
+from repro.experiments.rsssweep import run_policy_cell
+from repro.switch.rss import RetaDispatcher, five_tuple_hash
+
+FLOOR_RATIO = 10.0
+REKEY_SALT = 0x9E3779B9
+
+EXECUTORS = ("serial", "thread", "process")
+
+#: Filled by the invariant test, folded into the published payload by the
+#: floor-recovery test (pytest runs this file's tests in order).
+INVARIANT_METRICS: dict = {}
+
+
+def entry_union(datapath) -> set:
+    """The aggregate ``(mask, masked key)`` population across all shards."""
+    return {
+        (entry.mask.values, entry.key)
+        for shard in datapath.shards
+        for entry in shard.megaflows.entries()
+    }
+
+
+def test_remap_zero_drop_invariant():
+    """Re-maps move every entry and drop none, under every executor."""
+    keys = section62_trace()
+    moved_by_executor = {}
+    for executor in EXECUTORS:
+        datapath = warmed_sharded(4, keys, executor=executor)
+        try:
+            before_union = entry_union(datapath)
+            before_masks = datapath.n_masks
+            upcalls_before = datapath.stats.upcalls
+
+            rekeyed = RetaDispatcher(4, five_tuple_hash, salt=REKEY_SALT)
+            status = datapath.rebalance(rekeyed)
+            assert status["remaps"] == 1
+            assert status["entries_moved"] > 0, "re-key moved nothing"
+            moved_by_executor[executor] = status["entries_moved"]
+
+            # Nothing dropped, nothing duplicated, masks intact.
+            assert entry_union(datapath) == before_union
+            assert datapath.n_masks == before_masks
+
+            # Placement is a pure function of (masked key, dispatcher):
+            # re-mapping to the same dispatcher moves nothing (the status
+            # counter is cumulative, so the delta must be zero).
+            again = datapath.rebalance(rekeyed.with_salt(REKEY_SALT))
+            assert again["entries_moved"] == status["entries_moved"]
+
+            # First replay re-warms entries whose matching packets now
+            # dispatch to a different queue than the migrated copy; the
+            # second replay must take zero upcalls — transients, not drops.
+            datapath.process_batch(keys)
+            rewarm = datapath.stats.upcalls - upcalls_before
+            INVARIANT_METRICS[f"post_remap_rewarm_upcalls_{executor}"] = rewarm
+            warmed_upcalls = datapath.stats.upcalls
+            datapath.process_batch(keys)
+            assert datapath.stats.upcalls == warmed_upcalls, (
+                f"{executor}: cache never converged after the re-map "
+                f"({datapath.stats.upcalls - warmed_upcalls} upcalls "
+                f"on an already-replayed trace)"
+            )
+
+            # Salt round-trip: the union survives the way back too (the
+            # replay's re-warmed duplicates share (mask, masked key) with
+            # the originals, so they converge onto one home and dedupe).
+            datapath.rebalance(rekeyed.with_salt(0))
+            assert entry_union(datapath) == before_union
+        finally:
+            datapath.close()
+
+    # One shard means one home: a re-map has nothing to move.
+    single = warmed_sharded(1, keys)
+    try:
+        before = entry_union(single)
+        status = single.rebalance(RetaDispatcher(1, five_tuple_hash, salt=REKEY_SALT))
+        assert status["entries_moved"] == 0
+        assert entry_union(single) == before
+    finally:
+        single.close()
+
+    assert len(set(moved_by_executor.values())) == 1, (
+        f"executors disagree on the moved-entry delta: {moved_by_executor}"
+    )
+
+
+def test_rebalance_floor_recovery():
+    """The re-keying defender recovers the victim's floor >= 10x static."""
+    start = time.perf_counter()
+    static = run_policy_cell("static")
+    defended = run_policy_cell("rebalance")
+    wall = time.perf_counter() - start
+
+    static_floor = static["tail_floor_gbps"]
+    defended_floor = defended["tail_floor_gbps"]
+    ratio = defended_floor / static_floor if static_floor else float("inf")
+
+    publish(
+        "rebalance",
+        {
+            **INVARIANT_METRICS,
+            "workload": "rsssweep-sipspdp-retargeting-game",
+            "smoke": SMOKE,
+            "game_wall_seconds": round(wall, 1),
+            "rounds": defended["rounds"],
+            "remaps": defended["remaps"],
+            "entries_moved": defended["entries_moved"],
+            "trace_packets": defended["trace_packets"],
+            "static_tail_floor_gbps": round(static_floor, 4),
+            "defended_tail_floor_gbps": round(defended_floor, 4),
+            "static_attack_floor_gbps": round(static["attack_floor_gbps"], 4),
+            "defended_attack_floor_gbps": round(defended["attack_floor_gbps"], 4),
+            "rebalance_floor_ratio": round(ratio, 1),
+        },
+    )
+
+    assert static["remaps"] == 0, "static cell must never re-map"
+    assert defended["remaps"] >= defended["rounds"] - 1, (
+        f"defender only re-mapped {defended['remaps']}x "
+        f"across {defended['rounds']} attacker rounds"
+    )
+    assert defended["entries_moved"] > 0
+    assert ratio >= FLOOR_RATIO, (
+        f"rebalancing defender only recovered {ratio:.1f}x the static floor "
+        f"({defended_floor:.4f} vs {static_floor:.4f} Gbps)"
+    )

@@ -32,6 +32,7 @@ from repro.core.general import GeneralTraceGenerator
 from repro.core.migration import MigrationController, MigrationPolicy, MigrationReport
 from repro.core.mitigation import GuardReport, MFCGuard, MFCGuardConfig
 from repro.core.planner import AttackPlan, plan_colocated, plan_for_cms, plan_general
+from repro.core.rebalance import RebalanceController, RebalancePolicy, RebalanceReport
 from repro.core.tracegen import AdversarialTrace, ColocatedTraceGenerator, bit_inversion_list
 from repro.core.usecases import (
     BASELINE,
@@ -85,6 +86,9 @@ __all__ = [
     "MigrationController",
     "MigrationPolicy",
     "MigrationReport",
+    "RebalanceController",
+    "RebalancePolicy",
+    "RebalanceReport",
     "AttackPlan",
     "plan_colocated",
     "plan_general",

@@ -8,7 +8,7 @@ them from the command line::
 
 IDs: didactic, fig8a, fig8b, fig8c, fig9a, fig9b, fig9c, section54,
 section62, table1, theorem41, theorem42, ipv6, comparison, mfcguard,
-pmdsweep, backendsweep, cloudsweep, migrationsweep.
+pmdsweep, backendsweep, cloudsweep, migrationsweep, rsssweep.
 """
 
 from __future__ import annotations
@@ -30,6 +30,7 @@ from repro.experiments import (
     mfcguard,
     migrationsweep,
     pmdsweep,
+    rsssweep,
     section54,
     section62,
     section7,
@@ -62,6 +63,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "backendsweep": backendsweep.run,
     "cloudsweep": cloudsweep.run,
     "migrationsweep": migrationsweep.run,
+    "rsssweep": rsssweep.run,
 }
 
 

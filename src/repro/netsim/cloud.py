@@ -25,6 +25,7 @@ from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import FlowRule
 from repro.core.migration import MigrationController, MigrationPolicy
 from repro.core.mitigation import MFCGuard, MFCGuardConfig
+from repro.core.rebalance import RebalanceController, RebalancePolicy
 from repro.exceptions import SimulationError
 from repro.netsim.cms import BACKENDS, CmsBackend, PolicyRule
 from repro.netsim.hypervisor import HypervisorHost, QuirkConfig
@@ -114,6 +115,14 @@ class EnvironmentProfile:
             hypervisor's maintenance cadence (live backend migration).
             ``None`` (the default, and every Table 1 preset) builds no
             controller, keeping the paper presets byte-identical.
+        rebalance_policy: optional
+            :class:`~repro.core.rebalance.RebalancePolicy` — when set on a
+            multi-PMD profile, every server runs a
+            :class:`~repro.core.rebalance.RebalanceController` (live RSS
+            re-keying against queue-concentrated attacks).  ``None`` (the
+            default, and every Table 1 preset) builds no controller — and
+            single-PMD profiles never do, since a 1-queue re-map is a
+            no-op by construction.
         description: Table 1 provenance notes.
     """
 
@@ -128,6 +137,7 @@ class EnvironmentProfile:
     executor_transport: str | None = None
     scan_kernel: str | None = None
     migration_policy: MigrationPolicy | None = None
+    rebalance_policy: "RebalancePolicy | None" = None
     description: str = ""
 
     def datapath_config(self) -> DatapathConfig:
@@ -249,12 +259,18 @@ class Server:
             if environment.migration_policy is not None
             else None
         )
+        rebalancer = (
+            RebalanceController(self.datapath, environment.rebalance_policy)
+            if environment.rebalance_policy is not None and environment.n_pmd > 1
+            else None
+        )
         self.host = HypervisorHost(
             datapath=self.datapath,
             cost_model=environment.cost_model,
             quirks=environment.quirks,
             guard=guard,
             migrator=migrator,
+            rebalancer=rebalancer,
         )
         self.vms: list[VirtualMachine] = []
         self._priority = itertools.count(1000, -1)

@@ -155,6 +155,20 @@ class AttackSource:
             raise SimulationError(f"pps must be >= 0, got {pps}")
         self.pps = pps
 
+    def set_trace(self, keys: Sequence[FlowKey], loop: bool = True) -> None:
+        """Swap the replayed trace mid-run (the RSS-aware attacker's move).
+
+        The adversarial game of the ``rsssweep`` experiment: after the
+        defender re-keys RSS, the attacker re-grinds its crafting packets
+        against the new dispatcher (:func:`~repro.switch.rss.retarget_trace`)
+        and swaps the re-targeted trace in here — subsequent batches replay
+        the new keys; packets already injected are history.
+        """
+        trace = list(keys)
+        if not trace:
+            raise SimulationError("attack trace is empty")
+        self._iter = itertools.cycle(trace) if loop else iter(trace)
+
     def tick(self, now: float, dt: float) -> None:
         if not self.active(now):
             self.current_pps = 0.0

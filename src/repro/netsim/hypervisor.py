@@ -50,6 +50,7 @@ import numpy as np
 from repro.classifier.tss import MegaflowEntry
 from repro.core.migration import MigrationController
 from repro.core.mitigation import MFCGuard
+from repro.core.rebalance import RebalanceController
 from repro.exceptions import SimulationError
 from repro.netsim import settlement
 from repro.packet.fields import FlowKey
@@ -117,6 +118,12 @@ class HypervisorHost:
             the maintenance cadence right after the guard, so live backend
             migration rides the same per-tick serialisation point as every
             other management sweep.
+        rebalancer: optional
+            :class:`~repro.core.rebalance.RebalanceController` — ticked
+            after the migrator.  When a tick re-maps RSS, every victim's
+            ``home_shards`` is recomputed against the new dispatcher (the
+            victim's flows genuinely moved cores, and settlement must
+            charge the cores now carrying them).
         revalidator_period: seconds between idle-eviction sweeps.
         settlement_mode: ``"vector"`` (default — the numpy one-pass
             kernel) or ``"scalar"`` (the original per-victim loop, the
@@ -132,6 +139,7 @@ class HypervisorHost:
         quirks: QuirkConfig | None = None,
         guard: MFCGuard | None = None,
         migrator: "MigrationController | None" = None,
+        rebalancer: "RebalanceController | None" = None,
         revalidator_period: float = 1.0,
         settlement_mode: str = "vector",
     ):
@@ -140,6 +148,7 @@ class HypervisorHost:
         self.quirks = quirks or QuirkConfig()
         self.guard = guard
         self.migrator = migrator
+        self.rebalancer = rebalancer
         self.settlement_mode = settlement.check_settlement_mode(settlement_mode)
         self.revalidator = Revalidator(datapath, period=revalidator_period)
         self.victims: dict[str, VictimState] = {}
@@ -265,6 +274,16 @@ class HypervisorHost:
             self.guard.note_attack_rate(self._slow_path_packets / dt)
         if self.migrator is not None:
             self.migrator.tick(now)
+        if self.rebalancer is not None:
+            report = self.rebalancer.tick(now)
+            if report.remapped:
+                # The flows moved cores: re-pin every victim to where the
+                # new dispatcher actually sends its keys.
+                for state in self.victims.values():
+                    state.home_shards = (
+                        tuple(sorted({self.datapath.shard_of(key) for key in state.keys}))
+                        or (0,)
+                    )
 
         # One consolidated per-core snapshot (a single executor round trip
         # when the shards live in worker processes) prices the whole tick:

@@ -698,6 +698,66 @@ class Datapath:
         self.migrate_backend_start(target_kind, slice_size=slice_size)
         return self.migrate_backend_swap()
 
+    # -- RSS re-map migration ------------------------------------------------------
+    # Like the backend rebuild above, these run *on this object* wherever it
+    # lives; under the ``process`` executor only the moved entries (a delta of
+    # this shard's state, never a snapshot of it) cross the pipe.
+    def rebalance_extract(self, new_rss, shard_id: int) -> dict:
+        """Pull out every megaflow whose home moves off ``shard_id``.
+
+        A megaflow's home under a dispatcher is defined by its *masked key*
+        as the representative flow identity (copies of the same entry that
+        RSS scattered across shards all agree on it, so they converge on
+        one destination and the aggregate ``(mask, masked key)`` union is
+        preserved through a re-map).  Moved entries are removed from the
+        backend with their caches invalidated but — unlike
+        :meth:`kill_entry` — never dead-marked: they are in flight, not
+        deleted.  Dead-entry records (§8 quirk) migrate alongside so a
+        killed megaflow stays killed on its new home shard.
+
+        Returns a picklable delta: ``{"entries": [...], "dead": [...]}``.
+        """
+        moved: list[MegaflowEntry] = []
+        for entry in list(self.megaflows.entries()):
+            if new_rss.queue_of(FlowKey.from_values(entry.key)) == shard_id:
+                continue
+            self.megaflows.remove(entry)
+            if self.microflows is not None:
+                self.microflows.invalidate(entry)
+            if self.mask_cache is not None:
+                self.mask_cache.invalidate_mask(entry.mask)
+            moved.append(entry)
+        moved_dead = [
+            (mask, key)
+            for mask, key in self._dead_entries
+            if new_rss.queue_of(FlowKey.from_values(key)) != shard_id
+        ]
+        self._dead_entries.difference_update(moved_dead)
+        return {"entries": moved, "dead": moved_dead}
+
+    def rebalance_install(self, entries, dead) -> int:
+        """Adopt re-mapped state extracted from other shards.
+
+        Entries keep their identity and age: the backend's refresh
+        semantics dedupe copies of the same megaflow arriving from several
+        shards (the first one in wins; later copies refresh its
+        ``last_used``), and ``created_at`` is restored after insert so a
+        re-map never rejuvenates a flow.  Installation bypasses the
+        ``max_megaflows`` admission gate — zero-drop through re-maps is
+        the contract, and the aggregate count across shards is unchanged.
+
+        Returns the number of entries newly stored on this shard.
+        """
+        stored_here = 0
+        for entry in entries:
+            created = entry.created_at
+            stored = self.megaflows.insert(entry, now=entry.last_used)
+            if stored is entry:
+                entry.created_at = created
+                stored_here += 1
+        self._dead_entries.update(tuple(record) for record in dead)
+        return stored_here
+
     def reset_stats(self) -> None:
         """Zero the aggregate counters (cache contents are kept)."""
         self.stats = DatapathStats()

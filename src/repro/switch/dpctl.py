@@ -159,6 +159,24 @@ def _migration_lines(status: dict) -> tuple[str, str]:
     return backend_line, migration_line
 
 
+def _rebalance_line(status: dict) -> str:
+    """The datapath-level ``rebalance:`` line (RSS re-map state).
+
+    Unlike ``backend:``/``migration:``, which are per-shard, a re-map is a
+    whole-datapath event — the dispatcher is shared — so the line renders
+    once in the summary block: how many re-maps have run, when the last
+    one was, how many entries moved homes in total and the dispatcher's
+    current salt (``salt:0x0`` is the un-re-keyed natural placement).
+    """
+    if status["remaps"]:
+        return (
+            f"rebalance: remaps:{status['remaps']} "
+            f"(last at {status['last_remap_at']:.3f}s) "
+            f"moved:{status['entries_moved']} salt:{status['salt']:#x}"
+        )
+    return f"rebalance: idle salt:{status['salt']:#x}"
+
+
 def _kernel_names(datapath: AnyDatapath) -> str:
     """The distinct scan-kernel names across shards (usually one).
 
@@ -197,6 +215,7 @@ def show(datapath: AnyDatapath) -> str:
             f"  pmd executor: {datapath.executor_name}, kernel={_kernel_names(datapath)}",
             f"  scan cost: {datapath.scan_cost:.1f} probe units (worst pmd)",
             f"  cache usage: {memory / 1e6:.2f} MB",
+            f"  {_rebalance_line(datapath.rebalance_status())}",
         ]
         for shard_id, shard in enumerate(datapath.shards):
             (

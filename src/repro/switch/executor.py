@@ -321,6 +321,11 @@ _SHARD_CALL = frozenset(
         "migrate_backend_step",
         "migrate_backend_swap",
         "migrate_backend_abort",
+        # RSS re-map migration: extraction/installation run inside the
+        # owning worker; what crosses the pipe is the moved-entry delta —
+        # never a snapshot of a shard's full state.
+        "rebalance_extract",
+        "rebalance_install",
     }
 )
 _SHARD_ENTRY_CALLS = frozenset({"kill_entry", "reinject"})
@@ -704,6 +709,12 @@ class ShardProxy:
 
     def migrate_backend_start(self, target_kind: str, slice_size: int = 512) -> dict:
         return self._call("migrate_backend_start", target_kind, slice_size=slice_size)
+
+    def rebalance_extract(self, new_rss, shard_id: int) -> dict:
+        return self._call("rebalance_extract", new_rss, shard_id)
+
+    def rebalance_install(self, entries, dead) -> int:
+        return self._call("rebalance_install", entries, dead)
 
     def migrate_backend_step(self, max_entries: int | None = None) -> dict:
         return self._call("migrate_backend_step", max_entries)

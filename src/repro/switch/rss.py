@@ -39,6 +39,7 @@ __all__ = [
     "five_tuple_hash_columns",
     "uniform_key_hash",
     "RssDispatcher",
+    "RetaDispatcher",
     "RetargetReport",
     "retarget_trace",
     "pin_to_queue",
@@ -52,38 +53,90 @@ _FNV_OFFSET = 0x811C9DC5
 _FNV_PRIME = 0x01000193
 
 
-def five_tuple_hash(key: FlowKey) -> int:
+def _salted_offset(salt: int) -> int:
+    """The FNV state after folding ``salt``'s 4 bytes (the re-key prefix).
+
+    Folding the salt *before* the field bytes is the cheap stand-in for
+    swapping a NIC's 40-byte Toeplitz key: every downstream byte sees a
+    different running state, so flows scatter onto entirely new queues.
+    ``salt=0`` short-circuits to the plain offset basis everywhere, which
+    is what keeps un-salted hashes (and every paper preset) byte-identical.
+    """
+    h = _FNV_OFFSET
+    for shift in (0, 8, 16, 24):
+        h ^= (salt >> shift) & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFF
+    return h
+
+
+def _fmix32(h: int) -> int:
+    """Murmur3's 32-bit finalizer: diffuse high bits into low bits.
+
+    Indispensable for the *salted* path, not decoration: an FNV-1a step is
+    affine over GF(2) in its low k bits (``h' = p·(h ^ b) mod 2^k`` — both
+    XOR and odd multiplication are linear there), so for the fixed-length
+    5-tuple the salted low bits differ from the unsalted ones by a
+    *constant* XOR.  Queue selection is ``h mod n_queues``: under a bare
+    re-key an attacker's trace ground onto one queue would move *as a
+    block* to one new queue — concentration preserved, the re-key
+    defeated.  The shift-xor-multiply cascade mixes the well-diffused high
+    bits down, making the low bits a genuine function of (key, salt).
+    """
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & 0xFFFFFFFF
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h
+
+
+def five_tuple_hash(key: FlowKey, salt: int = 0) -> int:
     """Deterministic 32-bit FNV-1a over the 5-tuple (a Toeplitz stand-in).
 
     Real NICs use a keyed Toeplitz hash; what the simulation needs from it
     is determinism (a flow's queue is stable for its lifetime) and bit
     sensitivity (flipping any 5-tuple bit can move the flow) — FNV-1a over
     the field bytes provides both without the 40-byte key machinery.
+
+    ``salt`` models the re-keyable part of that machinery: a non-zero salt
+    is folded into the FNV state before the field bytes (the simulation's
+    analogue of programming a fresh Toeplitz key into the NIC) and the
+    result is passed through :func:`_fmix32` — without that finalizer the
+    low bits a queue index is taken from would shift by a salt-dependent
+    *constant*, moving an attacker's whole ground trace to one new queue
+    instead of scattering it.  ``salt=0`` (the default) is bit-for-bit
+    the historical un-salted hash.
     """
-    h = _FNV_OFFSET
+    h = _salted_offset(salt) if salt else _FNV_OFFSET
     for index in _RSS_INDICES:
         value = key.at(index)
         for shift in (0, 8, 16, 24):
             h ^= (value >> shift) & 0xFF
             h = (h * _FNV_PRIME) & 0xFFFFFFFF
+    if salt:
+        h = _fmix32(h)
     return h
 
 
-def five_tuple_hash_columns(columns):
+def five_tuple_hash_columns(columns, salt: int = 0):
     """Vectorised twin of :func:`five_tuple_hash` over 5-tuple columns.
 
     ``columns`` maps each of :data:`RSS_FIELDS` to an integer array; all
     arrays share one length and position ``i`` across them is one flow.
     Returns the uint64 array of 32-bit hashes, bit-identical to calling
-    :func:`five_tuple_hash` per flow — the streaming tenant generators of
-    :mod:`repro.netsim.fleet` place whole hosts' populations onto PMD
-    queues in one pass with it (differential-tested in
-    ``tests/test_fleet.py``).
+    :func:`five_tuple_hash` per flow — including under a re-key salt,
+    which enters as the same pre-folded FNV state (the salt is constant
+    across the batch, so its prefix contributes one scalar fill value).
+    The streaming tenant generators of :mod:`repro.netsim.fleet` place
+    whole hosts' populations onto PMD queues in one pass with it
+    (differential-tested in ``tests/test_fleet.py`` and, for the salted
+    path, ``tests/test_rebalance.py``).
     """
     import numpy as np
 
     first = np.asarray(columns[RSS_FIELDS[0]], dtype=np.uint64)
-    h = np.full(first.shape, _FNV_OFFSET, dtype=np.uint64)
+    offset = _salted_offset(salt) if salt else _FNV_OFFSET
+    h = np.full(first.shape, offset, dtype=np.uint64)
     prime = np.uint64(_FNV_PRIME)
     mask32 = np.uint64(0xFFFFFFFF)
     byte = np.uint64(0xFF)
@@ -92,10 +145,18 @@ def five_tuple_hash_columns(columns):
         for shift in (0, 8, 16, 24):
             h ^= (value >> np.uint64(shift)) & byte
             h = (h * prime) & mask32
+    if salt:
+        # The _fmix32 finalizer, vectorised (see the scalar twin for why
+        # the salted path needs it).
+        h ^= h >> np.uint64(16)
+        h = (h * np.uint64(0x85EBCA6B)) & mask32
+        h ^= h >> np.uint64(13)
+        h = (h * np.uint64(0xC2B2AE35)) & mask32
+        h ^= h >> np.uint64(16)
     return h
 
 
-def uniform_key_hash(key: FlowKey) -> int:
+def uniform_key_hash(key: FlowKey, salt: int = 0) -> int:
     """A well-mixing hash over the *full* key (balanced-placement studies).
 
     The crafted keys of a TSE staircase differ in structured bit patterns
@@ -108,7 +169,12 @@ def uniform_key_hash(key: FlowKey) -> int:
     experiments and benchmarks that need the *even-spread* regime (e.g.
     measuring executor scaling without queue imbalance in the way) rather
     than a NIC-faithful one.
+
+    A non-zero ``salt`` re-keys the placement by prepending the salt to
+    the hashed tuple; ``salt=0`` is bit-for-bit the historical hash.
     """
+    if salt:
+        return hash((salt,) + key.values) & 0xFFFFFFFF
     return hash(key.values) & 0xFFFFFFFF
 
 
@@ -143,6 +209,87 @@ class RssDispatcher:
 
     def __repr__(self) -> str:
         return f"RssDispatcher(n_queues={self.n_queues})"
+
+
+class RetaDispatcher(RssDispatcher):
+    """A re-keyable, re-mappable dispatcher (DPDK RETA-style).
+
+    Two independent levers move flows between queues without restarting
+    the datapath, mirroring what real NICs expose:
+
+    * **salt** — a 32-bit re-key folded into the hash (the stand-in for
+      programming a fresh Toeplitz key); changing it scatters *every*
+      flow onto a fresh pseudo-random queue;
+    * **reta** — an explicit queue-indirection table: the hash picks a
+      RETA slot, the slot names the queue.  Editing individual slots
+      moves *fractions* of the flow population (e.g. shedding 1/128th of
+      a hot queue's load), which a re-key cannot do.
+
+    With ``salt=0`` and the default identity table (slot count a multiple
+    of ``n_queues``, slot ``i`` naming queue ``i % n_queues``),
+    ``reta[h % slots] == h % n_queues`` for every hash — placement is
+    bit-identical to the plain :class:`RssDispatcher`, which is what lets
+    :class:`~repro.switch.sharded.ShardedDatapath` use this class
+    unconditionally without perturbing any paper preset.
+
+    Dispatchers are immutable; :meth:`with_salt` / :meth:`with_reta`
+    derive the successor a re-map installs.  Everything held is ints,
+    tuples, or a module-level function, so instances cross the process
+    executor's pickle boundary.
+    """
+
+    def __init__(
+        self,
+        n_queues: int,
+        hash_fn: Callable[..., int] = five_tuple_hash,
+        salt: int = 0,
+        reta: Sequence[int] | None = None,
+        reta_slots: int = 128,
+    ):
+        super().__init__(n_queues, hash_fn)
+        if not 0 <= salt <= 0xFFFFFFFF:
+            raise SwitchError(f"salt must be a 32-bit value, got {salt}")
+        if reta is None:
+            slots = n_queues * max(1, reta_slots // n_queues)
+            reta = tuple(i % n_queues for i in range(slots))
+        else:
+            reta = tuple(reta)
+            if not reta:
+                raise SwitchError("reta must have at least one slot")
+            bad = [q for q in reta if not 0 <= q < n_queues]
+            if bad:
+                raise SwitchError(
+                    f"reta entries out of range 0..{n_queues - 1}: {bad[:4]}"
+                )
+        self.salt = salt
+        self.reta = reta
+
+    def _hash(self, key: FlowKey) -> int:
+        # Pass the salt positionally only when set so salt-less custom
+        # hash functions keep working as plain ``FlowKey -> int``.
+        if self.salt:
+            return self.hash_fn(key, self.salt)
+        return self.hash_fn(key)
+
+    def queue_of(self, key: FlowKey) -> int:
+        """The queue ``key``'s flow lands on under the current (salt, reta)."""
+        if self.n_queues == 1:
+            return 0
+        return self.reta[self._hash(key) % len(self.reta)]
+
+    def with_salt(self, salt: int) -> "RetaDispatcher":
+        """The successor dispatcher after a re-key (same RETA)."""
+        return RetaDispatcher(self.n_queues, self.hash_fn, salt=salt, reta=self.reta)
+
+    def with_reta(self, reta: Sequence[int]) -> "RetaDispatcher":
+        """The successor dispatcher after a RETA rewrite (same salt)."""
+        return RetaDispatcher(self.n_queues, self.hash_fn, salt=self.salt, reta=reta)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetaDispatcher(n_queues={self.n_queues}, salt={self.salt:#x}, "
+            f"slots={len(self.reta)})"
+        )
 
 
 @dataclass(frozen=True)

@@ -43,6 +43,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.classifier.backend import MegaflowEntry
 from repro.classifier.flowtable import FlowTable
+from repro.exceptions import SwitchError
 from repro.packet.fields import FlowKey
 from repro.packet.packet import Packet
 from repro.switch.datapath import (
@@ -127,6 +128,9 @@ class ShardedDatapath:
         # shards get the changes shipped as delta messages.
         self.executor.build(flow_table, self.config, n_shards)
         self._shards = self.executor.shards
+        self._remaps = 0
+        self._last_remap_at: float | None = None
+        self._entries_moved = 0
 
     # -- lifecycle ----------------------------------------------------------------
     def close(self) -> None:
@@ -362,6 +366,72 @@ class ShardedDatapath:
                     continue
                 results.append(shard.migrate_backend(target_kind, slice_size=slice_size))
             return results
+
+    # -- live RSS rebalancing -----------------------------------------------------
+    def rebalance(self, dispatcher: RssDispatcher) -> dict:
+        """Re-map the datapath onto ``dispatcher``, migrating flow state live.
+
+        The re-map protocol (ROADMAP item 5, the defense against the
+        RSS-aware attacker of arXiv:2011.09107):
+
+        1. quiesce every shard under :meth:`maintenance` — no batch is in
+           flight anywhere while ownership moves;
+        2. each shard *extracts* the megaflows (and §8 dead-entry records)
+           whose home under the new dispatcher is a different shard — a
+           delta of its state, never a snapshot, which is also exactly
+           what crosses the pipe under the ``process`` executor;
+        3. route every extracted entry by its masked key through the new
+           dispatcher and *install* it on its new home shard, where
+           refresh-semantics dedupe copies of the same megaflow arriving
+           from several shards;
+        4. swap ``self.rss`` — from here on dispatch and re-dispatch see
+           only the new placement.
+
+        The aggregate ``(mask, masked key)`` union across shards is
+        invariant through the re-map (zero entries dropped: installation
+        bypasses admission gates), and with ``n_shards == 1`` every home
+        is shard 0, so a re-map is a no-op on the cache contents.
+
+        Returns the :meth:`rebalance_status` record after the swap.
+        """
+        if dispatcher.n_queues != self.n_shards:
+            raise SwitchError(
+                f"dispatcher has {dispatcher.n_queues} queues, "
+                f"datapath has {self.n_shards} shards"
+            )
+        with self.maintenance():
+            inbound_entries: dict[int, list[MegaflowEntry]] = {}
+            inbound_dead: dict[int, list] = {}
+            for shard_id, shard in enumerate(self._shards):
+                delta = shard.rebalance_extract(dispatcher, shard_id)
+                for entry in delta["entries"]:
+                    home = dispatcher.queue_of(FlowKey.from_values(entry.key))
+                    inbound_entries.setdefault(home, []).append(entry)
+                for record in delta["dead"]:
+                    mask, key = record
+                    home = dispatcher.queue_of(FlowKey.from_values(tuple(key)))
+                    inbound_dead.setdefault(home, []).append(record)
+            moved = 0
+            for shard_id, shard in enumerate(self._shards):
+                entries = inbound_entries.get(shard_id, [])
+                dead = inbound_dead.get(shard_id, [])
+                if entries or dead:
+                    moved += shard.rebalance_install(entries, dead)
+            self.rss = dispatcher
+            self._remaps += 1
+            self._last_remap_at = self.now
+            self._entries_moved += moved
+        return self.rebalance_status()
+
+    def rebalance_status(self) -> dict:
+        """The datapath's re-map state as one picklable record."""
+        return {
+            "remaps": self._remaps,
+            "last_remap_at": self._last_remap_at,
+            "entries_moved": self._entries_moved,
+            "salt": getattr(self.rss, "salt", 0),
+            "reta_slots": len(getattr(self.rss, "reta", ())),
+        }
 
     def __repr__(self) -> str:
         per_shard = ", ".join(str(shard.n_masks) for shard in self._shards)

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.classifier.actions import ALLOW
 from repro.classifier.flowtable import FlowTable
 from repro.classifier.rule import Match
+
+# The nightly CI leg runs the property-based tests with a 10x example
+# budget (HYPOTHESIS_PROFILE=nightly); interactive and per-PR runs keep
+# hypothesis' stock budget so the suite stays fast.
+settings.register_profile("nightly", max_examples=1000)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 # The 3-bit HYP protocol of Fig. 1, mapped onto the top bits of ip_tos,
 # and the 4-bit HYP2 onto the top bits of ip_ttl (see experiments.didactic).

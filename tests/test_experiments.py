@@ -29,12 +29,13 @@ from repro.exceptions import ExperimentError
 
 
 class TestRegistry:
-    def test_all_twenty_experiments(self):
-        assert len(EXPERIMENTS) == 20
+    def test_all_twenty_one_experiments(self):
+        assert len(EXPERIMENTS) == 21
         assert "pmdsweep" in EXPERIMENTS
         assert "backendsweep" in EXPERIMENTS
         assert "cloudsweep" in EXPERIMENTS
         assert "migrationsweep" in EXPERIMENTS
+        assert "rsssweep" in EXPERIMENTS
 
     def test_run_by_id(self):
         result = run_experiment("table1")

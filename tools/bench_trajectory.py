@@ -68,6 +68,10 @@ DEFAULT_RULES: tuple[tuple[str, str, float], ...] = (
     # inside ``recovered_floor_ratio``.
     (r"time_to_recover", "lower", 0.50),
     (r"recovered_floor_ratio", "higher", 0.35),
+    # The rebalancing defender's win in the RSS retargeting game
+    # (bench_rebalance's figure of merit; named before the generic
+    # floor_ratio rule so its guard is explicit, like upcall_speedup).
+    (r"rebalance_floor_ratio", "higher", 0.35),
     (r"floor_ratio", "higher", 0.35),
     # Transport guard: the shm data plane must keep beating the pickled
     # pipe; a drop here means the zero-copy path regressed.
@@ -324,10 +328,35 @@ def self_test() -> int:
         )
         return 1
     expected.update(collapsed_metrics)
+
+    # The rebalance guard must bite on a weaker defense specifically: a 3x
+    # collapse of the retargeting game's floor ratio (well past the 35%
+    # tolerance) has to be rejected even though every other metric is
+    # untouched.
+    rebalance_path = RESULTS_DIR / "BENCH_rebalance.json"
+    if not rebalance_path.exists():
+        print("self-test: BENCH_rebalance.json missing from trajectory",
+              file=sys.stderr)
+        return 2
+    payload = json.loads(rebalance_path.read_text())
+    weakened = dict(payload)
+    weakened_metrics = sorted(m for m in payload if "rebalance_floor_ratio" in m)
+    for metric in weakened_metrics:
+        weakened[metric] = payload[metric] / 3.0
+    rebalance_findings = compare_payloads("rebalance", payload, weakened)
+    rebalance_caught = {f.metric for f in rebalance_findings if f.failed}
+    rebalance_missed = set(weakened_metrics) - rebalance_caught
+    if not weakened_metrics or rebalance_missed:
+        print(
+            "self-test: synthetic rebalance-floor regression NOT caught: "
+            f"{sorted(rebalance_missed) or 'no rebalance_floor_ratio metric published'}"
+        )
+        return 1
+    expected.update(weakened_metrics)
     print(
         f"self-test OK: clean trajectory passes; {len(expected)} synthetic "
-        f"regression(s) (BENCH_{bench} + BENCH_migration + BENCH_upcall) "
-        f"all rejected ({', '.join(sorted(expected))})"
+        f"regression(s) (BENCH_{bench} + BENCH_migration + BENCH_upcall + "
+        f"BENCH_rebalance) all rejected ({', '.join(sorted(expected))})"
     )
     return 0
 
